@@ -1,0 +1,47 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace contory::bench {
+
+void PrintHeading(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+std::string Ratio(double measured, double reference) {
+  if (reference == 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "x%.2f", measured / reference);
+  return buf;
+}
+
+std::string Cell(const RunningStats& stats, int precision) {
+  return stats.ToCell(precision);
+}
+
+void PrintTable(const std::string& title, const std::string& value_header,
+                const std::vector<Row>& rows) {
+  std::size_t label_w = std::string("operation").size();
+  std::size_t measured_w = std::string("measured").size();
+  std::size_t paper_w = std::string("paper").size();
+  for (const auto& row : rows) {
+    label_w = std::max(label_w, row.label.size());
+    measured_w = std::max(measured_w, row.measured.size());
+    paper_w = std::max(paper_w, row.paper.size());
+  }
+  std::printf("\n%s\n", title.c_str());
+  std::printf("  %-*s | %-*s | %-*s | %s\n", static_cast<int>(label_w),
+              "operation", static_cast<int>(measured_w), "measured",
+              static_cast<int>(paper_w), "paper", value_header.c_str());
+  std::printf("  %s\n",
+              std::string(label_w + measured_w + paper_w + 30, '-').c_str());
+  for (const auto& row : rows) {
+    std::printf("  %-*s | %-*s | %-*s | %s\n", static_cast<int>(label_w),
+                row.label.c_str(), static_cast<int>(measured_w),
+                row.measured.c_str(), static_cast<int>(paper_w),
+                row.paper.c_str(), row.note.c_str());
+  }
+}
+
+}  // namespace contory::bench

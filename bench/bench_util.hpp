@@ -1,0 +1,33 @@
+// Shared presentation helpers for the reproduction benches: each bench
+// regenerates one table or figure of the paper and prints measured values
+// next to the paper's, in the paper's "Avg [90% Conf interval]" format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace contory::bench {
+
+struct Row {
+  std::string label;
+  std::string measured;
+  std::string paper;
+  std::string note;
+};
+
+/// Prints a boxed comparison table.
+void PrintTable(const std::string& title, const std::string& value_header,
+                const std::vector<Row>& rows);
+
+/// Prints a section heading.
+void PrintHeading(const std::string& text);
+
+/// "x12.3" style ratio annotation (measured/reference).
+[[nodiscard]] std::string Ratio(double measured, double reference);
+
+/// Formats a RunningStats the way the paper's tables do.
+[[nodiscard]] std::string Cell(const RunningStats& stats, int precision = 3);
+
+}  // namespace contory::bench

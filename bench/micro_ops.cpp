@@ -1,0 +1,138 @@
+// Google-benchmark microbenchmarks for the hot local operations of the
+// library: context item construction/serialization, query parsing,
+// predicate evaluation, and query merging. These are the operations a
+// 220 MHz phone would run per item/query; regressions here matter for any
+// real port.
+#include <benchmark/benchmark.h>
+
+#include "core/contory.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+CxtItem MakeItem() {
+  CxtItem item;
+  item.id = "bench-item";
+  item.type = vocab::kLight;
+  item.value = 5200.0;
+  item.metadata.accuracy = 50.0;
+  item.metadata.trust = TrustLevel::kTrusted;
+  return item;
+}
+
+void BM_CreateCxtItem(benchmark::State& state) {
+  for (auto _ : state) {
+    CxtItem item = MakeItem();
+    benchmark::DoNotOptimize(item);
+  }
+}
+BENCHMARK(BM_CreateCxtItem);
+
+void BM_SerializeCxtItem(benchmark::State& state) {
+  const CxtItem item = MakeItem();
+  for (auto _ : state) {
+    auto wire = item.Serialize();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_SerializeCxtItem);
+
+void BM_DeserializeCxtItem(benchmark::State& state) {
+  const auto wire = MakeItem().Serialize();
+  for (auto _ : state) {
+    auto item = CxtItem::Deserialize(wire);
+    benchmark::DoNotOptimize(item);
+  }
+}
+BENCHMARK(BM_DeserializeCxtItem);
+
+void BM_ParseQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = query::ParseQuery(
+        "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 "
+        "FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25");
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_SerializeQuery(benchmark::State& state) {
+  auto q = query::ParseQuery(
+      "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 "
+      "FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25");
+  q->id = "q-bench";
+  for (auto _ : state) {
+    auto wire = q->Serialize();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_SerializeQuery);
+
+void BM_EvalWhere(benchmark::State& state) {
+  const auto p = query::ParsePredicate(
+      "accuracy<=0.5 AND (trust=trusted OR correctness>=0.9) AND value>100");
+  const CxtItem item = MakeItem();
+  for (auto _ : state) {
+    auto r = query::EvalWhere(*p, item);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvalWhere);
+
+void BM_EvalEventAggregate(benchmark::State& state) {
+  const auto p = query::ParsePredicate("AVG(light)>5000");
+  std::vector<CxtItem> window(static_cast<std::size_t>(state.range(0)),
+                              MakeItem());
+  for (auto _ : state) {
+    auto r = query::EvalEvent(*p, window);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvalEventAggregate)->Arg(8)->Arg(32);
+
+void BM_MergeQueries(benchmark::State& state) {
+  auto q1 = query::ParseQuery(
+      "SELECT temperature FROM adHocNetwork(all,3) FRESHNESS 10sec "
+      "DURATION 1hour EVERY 15sec");
+  auto q2 = query::ParseQuery(
+      "SELECT temperature FROM adHocNetwork(all,1) FRESHNESS 20sec "
+      "DURATION 2hour EVERY 30sec");
+  q1->id = "q1";
+  q2->id = "q2";
+  for (auto _ : state) {
+    auto merged = query::Merge(*q1, *q2);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_MergeQueries);
+
+void BM_PostExtract(benchmark::State& state) {
+  auto q = query::ParseQuery(
+      "SELECT light WHERE accuracy<=100 FRESHNESS 1 hour DURATION 1 hour");
+  q->id = "q";
+  const CxtItem item = MakeItem();
+  for (auto _ : state) {
+    bool match = query::PostExtract(*q, item, kSimEpoch + 1s);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_PostExtract);
+
+void BM_NmeaBuildParse(benchmark::State& state) {
+  sensors::GpsFix fix;
+  fix.position = {60.152, 24.909};
+  fix.speed_knots = 6.5;
+  fix.time = kSimEpoch + 3725s;
+  for (auto _ : state) {
+    const auto burst = sensors::BuildNmeaBurst(fix);
+    auto parsed = sensors::ParseNmeaBurst(burst);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_NmeaBuildParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,291 @@
+// Regenerates Table 2: "Energy consumption of different context
+// provisioning mechanisms", in Joules per context item.
+//
+// Paper reference values (Nokia 6630; 9500 for WiFi):
+//   adHocNetwork BT: provideCxtItem ..................... 0.133 J
+//   adHocNetwork BT: getCxtItem (on-demand, incl. discovery) 5.270 J
+//   adHocNetwork BT: getCxtItem (periodic, no discovery)  0.099 J
+//   intSensor BT-GPS: getCxtItem (periodic, no discovery) 0.422 J
+//   adHocNetwork WiFi one hop (periodic) ................ >0.906 J
+//   adHocNetwork WiFi two hops (periodic) ............... >1.693 J
+//   extInfra UMTS: getCxtItem (on-demand) .............. 14.076 J
+//
+// Methodology mirrors the paper: GSM radio off / back-light off / display
+// off except where noted; WiFi rows include the back-light (footnote a);
+// per-item figures for periodic rows are the marginal energy above the
+// Contory-idle baseline (10.11 mW) divided by items received. 5 runs,
+// 90% CI.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/contory.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr int kRuns = 5;
+/// "Turning on Contory as well leads to a power consumption of 10.11 mW."
+constexpr double kContoryIdleMw = 10.11;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  if (!q.ok()) throw std::runtime_error(q.status().ToString());
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+CxtItem LightItem(testbed::World& world) {
+  CxtItem item;
+  item.id = world.sim().ids().NextId("item");
+  item.type = vocab::kLight;
+  item.value = 5200.0;
+  item.timestamp = world.Now();
+  item.metadata.accuracy = 50.0;
+  return item;
+}
+
+/// Marginal energy above the idle baseline, per delivered item.
+double MarginalPerItem(double joules, double window_s, std::size_t items,
+                       double baseline_mw = kContoryIdleMw) {
+  if (items == 0) return 0.0;
+  return (joules - baseline_mw / 1e3 * window_s) /
+         static_cast<double>(items);
+}
+
+/// BT one-hop on-demand query including device+service discovery.
+RunningStats BenchBtOnDemand() {
+  RunningStats joules;
+  for (int run = 0; run < kRuns; ++run) {
+    testbed::World world{600 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions req_opts;
+    req_opts.name = "requester";
+    req_opts.with_cellular = false;
+    auto& requester = world.AddDevice(req_opts);
+    testbed::DeviceOptions pub_opts;
+    pub_opts.name = "publisher";
+    pub_opts.position = {5, 0};
+    pub_opts.with_cellular = false;
+    auto& publisher = world.AddDevice(pub_opts);
+    core::CollectingClient server;
+    (void)publisher.contory().RegisterCxtServer(server);
+    (void)publisher.contory().PublishCxtItem(LightItem(world), true);
+    world.RunFor(1s);
+
+    core::CollectingClient client;
+    const auto mark = requester.phone().energy().Mark();
+    const auto id = requester.contory().ProcessCxtQuery(
+        Q(world.sim(),
+          "SELECT light FROM adHocNetwork DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    joules.Add(requester.phone().energy().JoulesSince(mark));
+  }
+  return joules;
+}
+
+struct PeriodicResult {
+  RunningStats requester_per_item;
+  RunningStats provider_per_item;
+};
+
+/// BT one-hop periodic query, post-discovery steady state. Also measures
+/// the provider (publisher) side for the provideCxtItem row.
+PeriodicResult BenchBtPeriodic() {
+  PeriodicResult result;
+  for (int run = 0; run < kRuns; ++run) {
+    testbed::World world{620 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions req_opts;
+    req_opts.name = "requester";
+    req_opts.with_cellular = false;
+    auto& requester = world.AddDevice(req_opts);
+    testbed::DeviceOptions pub_opts;
+    pub_opts.name = "publisher";
+    pub_opts.position = {5, 0};
+    pub_opts.with_cellular = false;
+    auto& publisher = world.AddDevice(pub_opts);
+    core::CollectingClient server;
+    (void)publisher.contory().RegisterCxtServer(server);
+    // Fresh values every 5 s.
+    sim::PeriodicTask republish{world.sim(), 5s, [&] {
+      (void)publisher.contory().PublishCxtItem(LightItem(world), true);
+    }};
+
+    core::CollectingClient client;
+    const auto id = requester.contory().ProcessCxtQuery(
+        Q(world.sim(),
+          "SELECT light FROM adHocNetwork DURATION 20 min EVERY 5 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    // Let discovery + connection settle, then measure steady state.
+    world.RunFor(30s);
+    const std::size_t items_before = client.items.size();
+    const auto req_mark = requester.phone().energy().Mark();
+    const auto pub_mark = publisher.phone().energy().Mark();
+    const SimTime start = world.Now();
+    world.RunFor(5min);
+    const double window = ToSeconds(world.Now() - start);
+    const auto items =
+        client.items.size() - items_before;
+    result.requester_per_item.Add(MarginalPerItem(
+        requester.phone().energy().JoulesSince(req_mark), window, items));
+    result.provider_per_item.Add(MarginalPerItem(
+        publisher.phone().energy().JoulesSince(pub_mark), window, items));
+  }
+  return result;
+}
+
+/// intSensor periodic location query over the BT-GPS (1 Hz NMEA stream).
+RunningStats BenchGpsPeriodic() {
+  RunningStats joules;
+  for (int run = 0; run < kRuns; ++run) {
+    testbed::World world{640 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions opts;
+    opts.name = "phone";
+    opts.with_cellular = false;
+    auto& device = world.AddDevice(opts);
+    world.AddGps("gps-1", {3, 0});
+
+    core::CollectingClient client;
+    const auto id = device.contory().ProcessCxtQuery(
+        Q(world.sim(),
+          "SELECT location DURATION 20 min EVERY 5 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    world.RunFor(30s);  // discovery + SDP + connect
+    const std::size_t items_before = client.items.size();
+    const auto mark = device.phone().energy().Mark();
+    const SimTime start = world.Now();
+    world.RunFor(5min);
+    const double window = ToSeconds(world.Now() - start);
+    joules.Add(MarginalPerItem(device.phone().energy().JoulesSince(mark),
+                               window,
+                               client.items.size() - items_before));
+  }
+  return joules;
+}
+
+/// WiFi periodic get over `hops` hops: per-item energy on the requesting
+/// communicator, back-light on (the paper's footnote a), attributed as
+/// system power x round latency — the way the authors derived their
+/// lower bounds from partial logs.
+RunningStats BenchWifiPeriodic(int hops) {
+  RunningStats joules;
+  for (int run = 0; run < kRuns; ++run) {
+    testbed::World world{660 + static_cast<std::uint64_t>(hops * 20 + run)};
+    std::vector<testbed::Device*> devices;
+    for (int i = 0; i <= hops; ++i) {
+      testbed::DeviceOptions opts;
+      opts.name = "comm-" + std::to_string(i);
+      opts.profile = phone::Nokia9500();
+      opts.position = {i * 80.0, 0};
+      opts.with_bt = false;
+      opts.with_wifi = true;
+      opts.with_cellular = false;
+      devices.push_back(&world.AddDevice(opts));
+    }
+    devices[0]->phone().SetBacklightOn(true);
+    core::CollectingClient server;
+    (void)devices.back()->contory().RegisterCxtServer(server);
+    sim::PeriodicTask republish{world.sim(), 5s, [&] {
+      (void)devices.back()->contory().PublishCxtItem(LightItem(world),
+                                                     true);
+    }};
+    world.RunFor(1s);
+
+    core::CollectingClient client;
+    const auto id = devices[0]->contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM adHocNetwork(1," +
+                           std::to_string(hops) +
+                           ") DURATION 20 min EVERY 30 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    // Measure the energy of one round: from launch to delivery.
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    const std::size_t target = client.items.size() + 1;
+    // Next round starts at the EVERY boundary; time its energy.
+    world.RunFor(30s - (world.Now().time_since_epoch() % 30s));
+    const auto mark = devices[0]->phone().energy().Mark();
+    const SimTime start = world.Now();
+    while (client.items.size() < target && world.sim().Step()) {
+    }
+    const double round_s = ToSeconds(world.Now() - start);
+    (void)round_s;
+    joules.Add(devices[0]->phone().energy().JoulesSince(mark));
+  }
+  return joules;
+}
+
+/// extInfra on-demand get including the full radio tail decay.
+RunningStats BenchUmtsOnDemand() {
+  RunningStats joules;
+  testbed::World world{690};
+  testbed::DeviceOptions opts;
+  opts.name = "requester";
+  opts.infra_address = "infra.dynamos.fi";
+  opts.with_bt = false;
+  auto& device = world.AddDevice(opts);
+  auto& server = world.AddContextServer("infra.dynamos.fi");
+  server.StoreDirect({LightItem(world), "boat-7", std::nullopt});
+  for (int run = 0; run < kRuns; ++run) {
+    world.RunFor(60s);  // radio back to idle
+    core::CollectingClient client;
+    const auto mark = device.phone().energy().Mark();
+    const auto id = device.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM extInfra DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    world.RunFor(30s);  // DCH + FACH tails decay
+    joules.Add(device.phone().energy().JoulesSince(mark));
+  }
+  return joules;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeading(
+      "Table 2: energy consumption per context item (Joule)");
+
+  std::vector<bench::Row> rows;
+
+  const PeriodicResult bt_periodic = BenchBtPeriodic();
+  rows.push_back({"adHocNetwork BT: provideCxtItem",
+                  bench::Cell(bt_periodic.provider_per_item) + " J",
+                  "0.133 J", "provider side, periodic"});
+  rows.push_back({"adHocNetwork BT: getCxtItem (on-demand+discovery)",
+                  bench::Cell(BenchBtOnDemand()) + " J", "5.270 J",
+                  "13 s inquiry dominates"});
+  rows.push_back({"adHocNetwork BT: getCxtItem (periodic)",
+                  bench::Cell(bt_periodic.requester_per_item) + " J",
+                  "0.099 J", "no re-discovery"});
+  rows.push_back({"intSensor BT-GPS: getCxtItem (periodic)",
+                  bench::Cell(BenchGpsPeriodic()) + " J", "0.422 J",
+                  "340 B NMEA @1 Hz, segmented"});
+  rows.push_back({"adHocNetwork WiFi 1 hop: getCxtItem (periodic)",
+                  bench::Cell(BenchWifiPeriodic(1)) + " J", ">0.906 J",
+                  "incl. back-light (a)"});
+  rows.push_back({"adHocNetwork WiFi 2 hops: getCxtItem (periodic)",
+                  bench::Cell(BenchWifiPeriodic(2)) + " J", ">1.693 J",
+                  "incl. back-light (a)"});
+  rows.push_back({"extInfra UMTS: getCxtItem (on-demand)",
+                  bench::Cell(BenchUmtsOnDemand()) + " J", "14.076 J",
+                  "connection + radio tails"});
+
+  bench::PrintTable("Energy per item (avg [90% CI] over 5 runs)", "notes",
+                    rows);
+  std::printf(
+      "\nShape checks (paper):\n"
+      "  on-demand-with-discovery >> periodic BT (x50+)\n"
+      "  UMTS >> everything else (x100+ vs periodic BT)\n"
+      "  intSensor periodic > adHocNetwork periodic (segmentation)\n"
+      "  WiFi rows ~ system power x round latency\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: the smallest complete Contory program.
+//
+// Builds a two-phone world (one publishes temperature readings over the
+// ad hoc network, one queries them), submits the paper's example-style
+// query through the SQL-like interface, and prints what comes back.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/contory.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+/// The application side of Contory: implement the Client interface.
+class QuickstartApp : public core::Client {
+ public:
+  void ReceiveCxtItem(const CxtItem& item) override {
+    std::printf("  [app] received: %s\n", item.ToString().c_str());
+  }
+  void InformError(const std::string& msg) override {
+    std::printf("  [app] error: %s\n", msg.c_str());
+  }
+  bool MakeDecision(const std::string& msg) override {
+    std::printf("  [app] access question: %s -> allow\n", msg.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Contory quickstart\n==================\n\n");
+
+  // 1. Build a world: two phones five meters apart, Bluetooth on.
+  testbed::World world{42};
+  auto& my_phone = world.AddDevice({.name = "my-phone"});
+  testbed::DeviceOptions peer_opts;
+  peer_opts.name = "peer-phone";
+  peer_opts.position = {5, 0};
+  auto& peer = world.AddDevice(peer_opts);
+
+  // 2. The peer registers as a context server and publishes temperature
+  //    readings into the ad hoc network every 10 seconds.
+  core::CollectingClient peer_app;
+  if (!peer.contory().RegisterCxtServer(peer_app).ok()) return 1;
+  sim::PeriodicTask publish{world.sim(), 10s, [&] {
+    CxtItem item;
+    item.id = world.sim().ids().NextId("reading");
+    item.type = vocab::kTemperature;
+    item.value = 14.0 + 0.1 * ToSeconds(world.Now());
+    item.timestamp = world.Now();
+    item.metadata.accuracy = 0.2;
+    (void)peer.contory().PublishCxtItem(item, /*publish=*/true);
+  }};
+  world.RunFor(11s);
+
+  // 3. Write a context query in the SQL-like language and submit it.
+  const char* text =
+      "SELECT temperature "
+      "FROM adHocNetwork(all,1) "
+      "WHERE accuracy<=0.5 "
+      "FRESHNESS 30 sec "
+      "DURATION 2 min "
+      "EVERY 20 sec";
+  std::printf("query:\n%s\n\n", text);
+  auto q = query::CxtQuery::Parse(text);
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return 1;
+  }
+
+  QuickstartApp app;
+  const auto id = my_phone.contory().ProcessCxtQuery(*q, app);
+  if (!id.ok()) {
+    std::printf("submit error: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("submitted as %s; running the world for 2.5 minutes...\n\n",
+              id->c_str());
+
+  // 4. Let the simulated world run; deliveries arrive as they happen.
+  world.RunFor(2min + 30s);
+
+  std::printf(
+      "\nenergy spent by my-phone: %.3f J "
+      "(13 s BT discovery dominates)\n",
+      my_phone.phone().energy().TotalEnergyJoules());
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// RegattaClassifier (Sec. 6.2): "during a regatta competition, this
+// service constantly provides an updated classification of the current
+// winner of the regatta. Virtual checkpoints can be arranged along the
+// route ... Each time a boat reaches a checkpoint, the RegattaClassifier
+// running on the phone's participant communicates to the infrastructure
+// location and speed of the boat (collected using GPS sensors). The
+// infrastructure processes this information and provides each participant
+// with an updated classification."
+//
+// Scenario: three boats race along a 3-checkpoint course. Each boat runs
+// Contory with a periodic location query served by its BT-GPS; the
+// classifier app reports fixes to the RegattaService over UMTS and
+// subscribes to pushed standings.
+//
+// Run: ./build/examples/regatta_classifier
+#include <cstdio>
+
+#include "core/contory.hpp"
+#include "infra/regatta_service.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr const char* kRegattaAddress = "regatta.dynamos.fi";
+
+/// The phone-side RegattaClassifier app: a Contory client that forwards
+/// GPS fixes to the infrastructure and renders pushed standings.
+class RegattaApp : public core::Client {
+ public:
+  RegattaApp(std::string boat, testbed::Device& device)
+      : boat_(std::move(boat)), device_(device) {
+    // Receive pushed standings over the event-based interface.
+    device_.contory().cellular_reference().SetTopicHandler(
+        "regatta.standings", [this](const infra::Event& event) {
+          ByteReader r{event.payload};
+          const auto standings = infra::DecodeStandings(r);
+          if (standings.ok()) latest_standings_ = *standings;
+        });
+    // Subscribe at the service.
+    ByteWriter w;
+    w.WriteU8(static_cast<std::uint8_t>(infra::RegattaOp::kSubscribe));
+    device_.contory().cellular_reference().SendRequest(
+        kRegattaAddress, std::move(w).Take(),
+        [](Result<std::vector<std::byte>>) {});
+  }
+
+  void ReceiveCxtItem(const CxtItem& item) override {
+    const auto geo = item.value.AsGeo();
+    if (!geo.ok()) return;
+    // Report location + speed to the infrastructure.
+    ByteWriter w;
+    w.WriteU8(static_cast<std::uint8_t>(infra::RegattaOp::kReport));
+    w.WriteString(boat_);
+    w.WriteF64(geo->lat);
+    w.WriteF64(geo->lon);
+    w.WriteF64(last_speed_);
+    if (w.size() < infra::kEventNotificationBytes) {
+      w.WritePadding(infra::kEventNotificationBytes - w.size());
+    }
+    device_.contory().cellular_reference().SendRequest(
+        kRegattaAddress, std::move(w).Take(),
+        [](Result<std::vector<std::byte>>) {});
+  }
+  void InformError(const std::string& msg) override {
+    std::printf("  [%s] note: %s\n", boat_.c_str(), msg.c_str());
+  }
+  bool MakeDecision(const std::string&) override { return true; }
+
+  void set_speed(double knots) { last_speed_ = knots; }
+  [[nodiscard]] const std::vector<infra::RegattaStanding>& standings()
+      const {
+    return latest_standings_;
+  }
+
+ private:
+  std::string boat_;
+  testbed::Device& device_;
+  double last_speed_ = 0.0;
+  std::vector<infra::RegattaStanding> latest_standings_;
+};
+
+void PrintStandings(const std::vector<infra::RegattaStanding>& standings) {
+  if (standings.empty()) {
+    std::printf("  (no standings yet)\n");
+    return;
+  }
+  int place = 1;
+  for (const auto& s : standings) {
+    std::printf("  %d. %-8s checkpoints %d  last pass %s  avg %.1f kt\n",
+                place++, s.boat.c_str(), s.checkpoints_passed,
+                FormatTime(s.last_passage).c_str(), s.avg_speed_knots);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RegattaClassifier (sailing scenario)\n");
+  std::printf("====================================\n\n");
+
+  testbed::World world{1906};
+
+  // Course: three checkpoints along the fleet's heading (the boats sail
+  // east with a 0.263 northward drift), ~620 m apart.
+  const std::vector<GeoPoint> checkpoints = {
+      sensors::ToGeo({600, 158}),
+      sensors::ToGeo({1200, 316}),
+      sensors::ToGeo({1800, 474}),
+  };
+  world.AddRegattaService(kRegattaAddress, checkpoints, 150.0);
+
+  // Three boats with different speeds (m/s), each with a phone + BT-GPS.
+  struct Boat {
+    const char* name;
+    double speed_mps;
+    testbed::Device* device = nullptr;
+    sensors::GpsDevice* gps = nullptr;
+    std::unique_ptr<RegattaApp> app;
+    net::Position pos{0, 0};
+  };
+  std::vector<Boat> boats(3);
+  boats[0].name = "Aurora";
+  boats[0].speed_mps = 4.5;
+  boats[1].name = "Borea";
+  boats[1].speed_mps = 3.8;
+  boats[2].name = "Sirocco";
+  boats[2].speed_mps = 4.1;
+
+  for (std::size_t i = 0; i < boats.size(); ++i) {
+    Boat& boat = boats[i];
+    testbed::DeviceOptions opts;
+    opts.name = boat.name;
+    opts.position = {0, static_cast<double>(i) * 30.0};
+    auto& device = world.AddDevice(opts);
+    boat.device = &device;
+    boat.pos = opts.position;
+    boat.gps = &world.AddGps(std::string(boat.name) + "-gps",
+                             {2, opts.position.y});
+    boat.app = std::make_unique<RegattaApp>(boat.name, device);
+    boat.app->set_speed(boat.speed_mps * 1.9438);
+
+    // Periodic location query served by the BT-GPS.
+    auto q = query::QueryBuilder(vocab::kLocation)
+                 .FromIntSensor()
+                 .For(40min)
+                 .Every(15s)
+                 .Build();
+    q.id = world.sim().ids().NextId("q");
+    const auto id = device.contory().ProcessCxtQuery(q, *boat.app);
+    if (!id.ok()) {
+      std::printf("submit failed for %s: %s\n", boat.name,
+                  id.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Sail: boats move along the course; GPS devices track their boats.
+  sim::PeriodicTask mover{world.sim(), 5s, [&] {
+    for (Boat& boat : boats) {
+      const double d = boat.speed_mps * 5.0;
+      // Head toward the course line (simple eastward + drift north).
+      boat.pos.x += d * 0.95;
+      boat.pos.y += d * 0.25;
+      boat.device->MoveTo(boat.pos);
+      (void)world.medium().SetPosition(boat.gps->node(),
+                                       {boat.pos.x + 2, boat.pos.y});
+    }
+  }};
+
+  for (int quarter = 1; quarter <= 4; ++quarter) {
+    world.RunFor(10min);
+    std::printf("\nstandings after %d min:\n", quarter * 10);
+    PrintStandings(boats[0].app->standings());
+  }
+
+  std::printf("\nfinal classification (winner first):\n");
+  PrintStandings(boats[0].app->standings());
+  const bool got_standings = !boats[0].app->standings().empty();
+  std::printf("\n%s\n", got_standings
+                            ? "RegattaClassifier delivered live standings."
+                            : "no standings received!");
+  return got_standings ? 0 : 1;
+}

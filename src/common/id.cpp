@@ -1,0 +1,13 @@
+#include "common/id.hpp"
+
+namespace contory {
+
+std::string IdGenerator::NextId(const std::string& prefix) {
+  return prefix + "-" + std::to_string(NextCounter(prefix));
+}
+
+std::uint64_t IdGenerator::NextCounter(const std::string& prefix) {
+  return ++counters_[prefix];
+}
+
+}  // namespace contory

@@ -1,0 +1,29 @@
+// Deterministic identifier generation.
+//
+// Queries, context items, SM messages and event notifications all carry
+// unique identifiers ("to disambiguate between multiple messages, a unique
+// identifier is associated with each query and with each result", Sec. 5.2).
+// Ids are sequential per prefix so logs and tests are stable run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace contory {
+
+/// Hands out "prefix-1", "prefix-2", ... deterministically. One instance
+/// usually lives in the Simulation so all modules share a numbering space.
+class IdGenerator {
+ public:
+  /// Returns the next id for `prefix`, e.g. NextId("q") -> "q-7".
+  [[nodiscard]] std::string NextId(const std::string& prefix);
+
+  /// Returns the next raw counter value for `prefix` (starting at 1).
+  [[nodiscard]] std::uint64_t NextCounter(const std::string& prefix);
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace contory

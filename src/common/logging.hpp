@@ -1,0 +1,74 @@
+// Leveled, sim-time-aware logging.
+//
+// Kept deliberately tiny: a global level, a pluggable sink (tests capture
+// log lines; benches silence them), and printf-style formatting. Log calls
+// below the active level cost one branch.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace contory {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide logging configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string& line)>;
+
+  static void SetLevel(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+
+  /// Replaces the sink (default writes to stderr). Pass nullptr to restore
+  /// the default.
+  static void SetSink(Sink sink);
+
+  /// Sets the clock used to prefix log lines with simulated time. The
+  /// Simulation installs itself here; nullptr removes the prefix.
+  static void SetTimeSource(std::function<SimTime()> now);
+
+  /// printf-style emission; prefer the CLOG_* macros below.
+  static void Emit(LogLevel level, const char* module, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  [[nodiscard]] static bool Enabled(LogLevel level) noexcept {
+    return level >= Log::level();
+  }
+};
+
+#define CLOG_TRACE(module, ...)                                       \
+  do {                                                                \
+    if (::contory::Log::Enabled(::contory::LogLevel::kTrace))         \
+      ::contory::Log::Emit(::contory::LogLevel::kTrace, module,       \
+                           __VA_ARGS__);                              \
+  } while (0)
+#define CLOG_DEBUG(module, ...)                                       \
+  do {                                                                \
+    if (::contory::Log::Enabled(::contory::LogLevel::kDebug))         \
+      ::contory::Log::Emit(::contory::LogLevel::kDebug, module,       \
+                           __VA_ARGS__);                              \
+  } while (0)
+#define CLOG_INFO(module, ...)                                        \
+  do {                                                                \
+    if (::contory::Log::Enabled(::contory::LogLevel::kInfo))          \
+      ::contory::Log::Emit(::contory::LogLevel::kInfo, module,        \
+                           __VA_ARGS__);                              \
+  } while (0)
+#define CLOG_WARN(module, ...)                                        \
+  do {                                                                \
+    if (::contory::Log::Enabled(::contory::LogLevel::kWarn))          \
+      ::contory::Log::Emit(::contory::LogLevel::kWarn, module,        \
+                           __VA_ARGS__);                              \
+  } while (0)
+#define CLOG_ERROR(module, ...)                                       \
+  do {                                                                \
+    if (::contory::Log::Enabled(::contory::LogLevel::kError))         \
+      ::contory::Log::Emit(::contory::LogLevel::kError, module,       \
+                           __VA_ARGS__);                              \
+  } while (0)
+
+}  // namespace contory

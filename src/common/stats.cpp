@@ -1,0 +1,129 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace contory {
+namespace {
+
+// One-sided 95% Student-t critical values (=> two-sided 90% CI) indexed by
+// degrees of freedom 1..30; beyond that we use the normal value 1.645.
+constexpr double kT90[31] = {
+    0.0,   6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+    1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729,
+    1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699,
+    1.697};
+
+}  // namespace
+
+void RunningStats::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ConfidenceInterval90() const noexcept {
+  if (n_ < 2) return 0.0;
+  const std::size_t df = n_ - 1;
+  const double t = df <= 30 ? kT90[df] : 1.645;
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+std::string RunningStats::ToCell(int precision) const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f [%.*f]", precision, mean(), precision,
+                ConfidenceInterval90());
+  return buf;
+}
+
+void TimeSeries::Add(SimTime t, double value) {
+  points_.push_back(Point{t, value});
+}
+
+double TimeSeries::Max() const noexcept {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+double TimeSeries::TimeWeightedMean() const noexcept {
+  if (points_.size() < 2) return points_.empty() ? 0.0 : points_[0].value;
+  const double span = ToSeconds(points_.back().t - points_.front().t);
+  if (span <= 0.0) return points_[0].value;
+  return Integrate() / span;
+}
+
+double TimeSeries::Integrate() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = ToSeconds(points_[i].t - points_[i - 1].t);
+    acc += 0.5 * (points_[i].value + points_[i - 1].value) * dt;
+  }
+  return acc;
+}
+
+std::string TimeSeries::AsciiPlot(int width, int height,
+                                  const std::string& value_unit) const {
+  if (points_.empty() || width < 8 || height < 2) return "(empty trace)\n";
+  const double t0 = ToSeconds(points_.front().t);
+  const double t1 = ToSeconds(points_.back().t);
+  const double tspan = std::max(t1 - t0, 1e-9);
+  double vmax = Max();
+  if (vmax <= 0.0) vmax = 1.0;
+
+  // Bucket by column, keeping the max per column so short peaks survive.
+  std::vector<double> col(static_cast<std::size_t>(width), 0.0);
+  for (const auto& p : points_) {
+    auto c = static_cast<std::size_t>((ToSeconds(p.t) - t0) / tspan *
+                                      (width - 1));
+    c = std::min(c, static_cast<std::size_t>(width - 1));
+    col[c] = std::max(col[c], p.value);
+  }
+
+  std::string out;
+  for (int row = height - 1; row >= 0; --row) {
+    const double threshold = vmax * (row + 0.5) / height;
+    char label[32];
+    std::snprintf(label, sizeof label, "%8.1f |", vmax * (row + 1) / height);
+    out += label;
+    for (int c = 0; c < width; ++c) {
+      out += col[static_cast<std::size_t>(c)] >= threshold ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += "         +";
+  out.append(static_cast<std::size_t>(width), '-');
+  out += '\n';
+  char footer[128];
+  std::snprintf(footer, sizeof footer,
+                "          %.1fs%*s%.1fs   (y: %s, max %.1f)\n", t0,
+                width - 10, "", t1, value_unit.c_str(), Max());
+  out += footer;
+  return out;
+}
+
+std::string TimeSeries::ToTsv() const {
+  std::string out;
+  char line[64];
+  for (const auto& p : points_) {
+    std::snprintf(line, sizeof line, "%.3f\t%.3f\n", ToSeconds(p.t), p.value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace contory

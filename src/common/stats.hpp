@@ -1,0 +1,80 @@
+// Statistics helpers used by the evaluation harness.
+//
+// The paper reports every measurement as "Avg [90% Conf interval]" over
+// 5-10 runs; RunningStats reproduces exactly that presentation. TimeSeries
+// records (t, value) traces for the Fig. 4 / Fig. 5 power plots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace contory {
+
+/// Streaming mean/variance accumulator (Welford) with the paper's
+/// 90% confidence-interval presentation.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of the 90% confidence interval of the mean, using
+  /// Student's t critical values for small n (the paper's 5-10 runs).
+  [[nodiscard]] double ConfidenceInterval90() const noexcept;
+
+  /// "140.359 [0.337]" — the paper's table cell format.
+  [[nodiscard]] std::string ToCell(int precision = 3) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A sampled (time, value) trace, e.g. the multimeter's power readings.
+class TimeSeries {
+ public:
+  void Add(SimTime t, double value);
+
+  struct Point {
+    SimTime t;
+    double value;
+  };
+
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  /// Maximum value over the whole trace (0 when empty).
+  [[nodiscard]] double Max() const noexcept;
+  /// Time-weighted average value between consecutive samples (0 when <2).
+  [[nodiscard]] double TimeWeightedMean() const noexcept;
+  /// Trapezoidal integral of value over time in (value-unit x seconds);
+  /// for a power trace in mW this yields millijoules.
+  [[nodiscard]] double Integrate() const noexcept;
+
+  /// Renders an ASCII strip chart (for the figure benches), `width` columns
+  /// wide and `height` rows tall, labelling the value axis.
+  [[nodiscard]] std::string AsciiPlot(int width, int height,
+                                      const std::string& value_unit) const;
+
+  /// Dumps "t_seconds\tvalue" lines, suitable for gnuplot.
+  [[nodiscard]] std::string ToTsv() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace contory

@@ -1,0 +1,27 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace contory {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double us = static_cast<double>(d.count());
+  if (std::abs(us) >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fs", us / 1e6);
+  } else if (std::abs(us) >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", us / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ldus", static_cast<long>(d.count()));
+  }
+  return buf;
+}
+
+std::string FormatTime(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.3fs", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace contory

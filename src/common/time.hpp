@@ -1,0 +1,69 @@
+// Simulated-time types shared by every Contory module.
+//
+// The whole reproduction runs on a deterministic discrete-event simulation,
+// so "time" everywhere in the code base means *virtual* time. We model it
+// with std::chrono on a dedicated clock so the type system separates
+// simulated instants from wall-clock instants and we get chrono literals
+// and arithmetic for free.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace contory {
+
+/// Duration of simulated time. Microsecond resolution is enough to express
+/// the paper's finest-grained measurements (createCxtItem = 78 us).
+using SimDuration = std::chrono::microseconds;
+
+/// The virtual clock driven by sim::Simulation. Never reads the host clock.
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::micro;
+  using duration = SimDuration;
+  using time_point = std::chrono::time_point<SimClock, duration>;
+  static constexpr bool is_steady = true;
+
+  // Intentionally no now(): the current instant is owned by the running
+  // sim::Simulation, not by a global.
+};
+
+/// An instant of simulated time.
+using SimTime = SimClock::time_point;
+
+/// The simulation epoch (t = 0).
+inline constexpr SimTime kSimEpoch{};
+
+/// Converts a simulated duration to fractional seconds.
+[[nodiscard]] constexpr double ToSeconds(SimDuration d) noexcept {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Converts a simulated duration to fractional milliseconds.
+[[nodiscard]] constexpr double ToMillis(SimDuration d) noexcept {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/// Converts fractional seconds to a simulated duration (rounded to us).
+[[nodiscard]] constexpr SimDuration FromSeconds(double seconds) noexcept {
+  return SimDuration{static_cast<std::int64_t>(seconds * 1e6)};
+}
+
+/// Converts fractional milliseconds to a simulated duration (rounded to us).
+[[nodiscard]] constexpr SimDuration FromMillis(double millis) noexcept {
+  return SimDuration{static_cast<std::int64_t>(millis * 1e3)};
+}
+
+/// Seconds elapsed since the simulation epoch.
+[[nodiscard]] constexpr double ToSeconds(SimTime t) noexcept {
+  return ToSeconds(t.time_since_epoch());
+}
+
+/// Renders a duration as a compact human-readable string ("1.500s", "30ms").
+[[nodiscard]] std::string FormatDuration(SimDuration d);
+
+/// Renders an instant as seconds since epoch ("t=155.000s").
+[[nodiscard]] std::string FormatTime(SimTime t);
+
+}  // namespace contory

@@ -1,0 +1,88 @@
+#include "core/access_controller.hpp"
+
+namespace contory::core {
+
+AccessController::AccessController(AccessControllerConfig config)
+    : config_(config) {}
+
+void AccessController::Touch(const std::string& source, Entry& entry) {
+  ++entry.accesses;
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(source);
+  entry.lru_pos = lru_.begin();
+}
+
+void AccessController::Remember(const std::string& source, bool allowed) {
+  const auto it = entries_.find(source);
+  if (it != entries_.end()) {
+    it->second.allowed = allowed;
+    Touch(source, it->second);
+    return;
+  }
+  lru_.push_front(source);
+  entries_[source] = Entry{allowed, 1, lru_.begin()};
+  EvictIfNeeded();
+}
+
+void AccessController::EvictIfNeeded() {
+  while (entries_.size() > config_.capacity) {
+    // Scan the colder half of the LRU list for the least-accessed entry:
+    // "only the most recent and the most often accessed sources are kept".
+    auto victim = std::prev(lru_.end());
+    std::uint64_t min_accesses = entries_.at(*victim).accesses;
+    auto it = lru_.begin();
+    std::advance(it, static_cast<long>(lru_.size() / 2));
+    for (; it != lru_.end(); ++it) {
+      const auto& entry = entries_.at(*it);
+      if (entry.accesses < min_accesses) {
+        min_accesses = entry.accesses;
+        victim = it;
+      }
+    }
+    entries_.erase(*victim);
+    lru_.erase(victim);
+  }
+}
+
+bool AccessController::Admit(const std::string& source, Client* client) {
+  const auto it = entries_.find(source);
+  if (it != entries_.end()) {
+    Touch(source, it->second);
+    return it->second.allowed;
+  }
+  bool allowed = false;
+  if (mode_ == SecurityMode::kLow) {
+    // "In low-security mode, every new entity is trusted."
+    allowed = true;
+  } else if (client != nullptr) {
+    allowed = client->MakeDecision("admit context source '" + source + "'?");
+  }
+  Remember(source, allowed);
+  return allowed;
+}
+
+void AccessController::Block(const std::string& source) {
+  Remember(source, false);
+}
+
+void AccessController::Allow(const std::string& source) {
+  Remember(source, true);
+}
+
+void AccessController::Forget(const std::string& source) {
+  const auto it = entries_.find(source);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+bool AccessController::IsKnown(const std::string& source) const {
+  return entries_.contains(source);
+}
+
+bool AccessController::IsBlocked(const std::string& source) const {
+  const auto it = entries_.find(source);
+  return it != entries_.end() && !it->second.allowed;
+}
+
+}  // namespace contory::core

@@ -1,0 +1,73 @@
+// AccessController (Sec. 4.3).
+//
+// "The AccessController module is responsible for controlling the
+// interaction with external sources and requesters of context items. The
+// AccessController keeps track of previously connected context sources
+// (such as sensors or devices) and also of blocked context sources. This
+// list is continuously refreshed so that only the most recent and the
+// most often accessed sources are kept in memory. If the application
+// requires high-security operating mode, every time a new context source
+// is encountered, it is blocked or admitted based on explicit validation
+// by the application. In low-security mode, every new entity is trusted."
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "core/client.hpp"
+
+namespace contory::core {
+
+enum class SecurityMode : std::uint8_t { kLow, kHigh };
+
+struct AccessControllerConfig {
+  /// Cap on remembered sources (allowed + blocked combined). Eviction
+  /// prefers dropping the least-recently-used, least-accessed entries.
+  std::size_t capacity = 64;
+};
+
+class AccessController {
+ public:
+  explicit AccessController(AccessControllerConfig config = {});
+
+  void SetMode(SecurityMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] SecurityMode mode() const noexcept { return mode_; }
+
+  /// Decides whether interaction with `source` (a device/sensor/server
+  /// address) is allowed. Known-allowed sources pass; known-blocked fail.
+  /// Unknown sources: low-security mode admits and remembers; high-
+  /// security mode asks `client` (MakeDecision) and remembers the answer.
+  /// A null client in high-security mode blocks (fail closed).
+  [[nodiscard]] bool Admit(const std::string& source, Client* client);
+
+  /// Administrative overrides.
+  void Block(const std::string& source);
+  void Allow(const std::string& source);
+  void Forget(const std::string& source);
+
+  [[nodiscard]] bool IsKnown(const std::string& source) const;
+  [[nodiscard]] bool IsBlocked(const std::string& source) const;
+  [[nodiscard]] std::size_t known_count() const noexcept {
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    bool allowed = true;
+    std::uint64_t accesses = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  void Touch(const std::string& source, Entry& entry);
+  void Remember(const std::string& source, bool allowed);
+  void EvictIfNeeded();
+
+  AccessControllerConfig config_;
+  SecurityMode mode_ = SecurityMode::kLow;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+}  // namespace contory::core

@@ -1,0 +1,571 @@
+#include "core/context_factory.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/model/vocabulary.hpp"
+#include "core/providers/infra_provider.hpp"
+#include "core/providers/local_provider.hpp"
+#include "infra/context_server.hpp"
+#include "infra/event_broker.hpp"
+#include "sensors/gps.hpp"
+
+namespace contory::core {
+namespace {
+constexpr const char* kModule = "factory";
+
+DeviceServices Validated(DeviceServices services) {
+  services.CheckRequired();
+  return services;
+}
+
+}  // namespace
+
+void DeviceServices::CheckRequired() const {
+  if (sim == nullptr || phone == nullptr || medium == nullptr ||
+      node == net::kInvalidNode) {
+    throw std::invalid_argument(
+        "DeviceServices: sim, phone, medium, and node are required");
+  }
+}
+
+ContextFactory::ContextFactory(DeviceServices services,
+                               ContextFactoryConfig config)
+    : services_(Validated(std::move(services))),
+      config_(config),
+      internal_ref_(),
+      bt_ref_(*services_.sim, services_.bt),
+      wifi_ref_(services_.wifi, services_.sm),
+      cell_ref_(services_.modem),
+      monitor_(*services_.sim, *services_.phone, config_.resources),
+      access_(config_.access),
+      repository_(*services_.sim, config_.repository),
+      query_manager_(*services_.sim) {
+  publisher_ = std::make_unique<CxtPublisher>(bt_ref_, wifi_ref_);
+  WireReferences();
+  BuildFacades();
+
+  // Join the SM overlay and expose the home tag SM-FINDERs route back to.
+  if (services_.sm != nullptr) {
+    wifi_ref_.SetParticipating(true);
+    services_.sm->tags().Upsert(HomeTagName(services_.node), "1");
+    RegisterFinderBrick(*services_.sm);
+  }
+
+  // The middleware's own runtime draw (+1.64 mW, Sec. 6.1).
+  services_.phone->SetContoryRunning(true);
+
+  policy_task_ = std::make_unique<sim::PeriodicTask>(
+      *services_.sim, config_.policy_period, [this] { EvaluatePolicies(); });
+}
+
+ContextFactory::~ContextFactory() {
+  *life_ = false;
+  services_.phone->SetContoryRunning(false);
+}
+
+void ContextFactory::WireReferences() {
+  monitor_.Attach(internal_ref_);
+  monitor_.Attach(bt_ref_);
+  monitor_.Attach(wifi_ref_);
+  monitor_.Attach(cell_ref_);
+  monitor_.SetMemoryGauge([this] { return repository_.size(); });
+  monitor_.SetQueryGauge([this] { return query_manager_.active_count(); });
+  monitor_.SetProviderGauge([this] { return active_provider_count(); });
+}
+
+std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
+    query::SourceSel kind, query::CxtQuery q,
+    CxtProvider::Callbacks callbacks) {
+  QueryRecord* record = query_manager_.Find(q.id);
+  Client* client = record != nullptr ? record->client : nullptr;
+  switch (kind) {
+    case query::SourceSel::kIntSensor:
+      return std::make_unique<LocalCxtProvider>(
+          *services_.sim, std::move(q), std::move(callbacks), internal_ref_,
+          bt_ref_, access_, client);
+    case query::SourceSel::kExtInfra: {
+      std::string address = services_.default_infra_address;
+      for (const auto& src : q.from.sources) {
+        if (src.kind == query::SourceSel::kExtInfra && !src.address.empty()) {
+          address = src.address;
+        }
+      }
+      return std::make_unique<InfraCxtProvider>(
+          *services_.sim, std::move(q), std::move(callbacks), cell_ref_,
+          std::move(address));
+    }
+    case query::SourceSel::kAdHocNetwork: {
+      const AdHocTransport transport =
+          active_actions_.contains(RuleAction::kReducePower)
+              ? AdHocTransport::kForceBt
+              : AdHocTransport::kAuto;
+      return std::make_unique<AdHocCxtProvider>(
+          *services_.sim, std::move(q), std::move(callbacks), bt_ref_,
+          wifi_ref_, access_, client, transport,
+          config_.adhoc_finder_retries);
+    }
+    case query::SourceSel::kAuto:
+      break;
+  }
+  throw std::logic_error("MakeProvider: unresolved source kind");
+}
+
+void ContextFactory::BuildFacades() {
+  for (const query::SourceSel kind :
+       {query::SourceSel::kIntSensor, query::SourceSel::kExtInfra,
+        query::SourceSel::kAdHocNetwork}) {
+    query::MergePolicy policy = config_.merge_policy;
+    if (!config_.enable_query_merging) {
+      policy.threshold = -1.0;  // nothing merges
+    }
+    auto facade = std::make_unique<Facade>(
+        *services_.sim, kind,
+        [this, kind](query::CxtQuery q, CxtProvider::Callbacks callbacks) {
+          return MakeProvider(kind, std::move(q), std::move(callbacks));
+        },
+        policy);
+    facade->SetDelivery(
+        [this, kind](const std::string& query_id, const CxtItem& item) {
+          OnDelivery(kind, query_id, item);
+        });
+    facade->SetFinished(
+        [this, kind](const std::string& query_id, const Status& status) {
+          OnFinished(kind, query_id, status);
+        });
+    facades_.emplace(kind, std::move(facade));
+  }
+}
+
+Facade& ContextFactory::facade(query::SourceSel kind) {
+  return *facades_.at(kind);
+}
+
+std::size_t ContextFactory::active_provider_count() const {
+  std::size_t n = 0;
+  for (const auto& [kind, facade] : facades_) {
+    n += facade->active_provider_count();
+  }
+  return n;
+}
+
+std::set<query::SourceSel> ContextFactory::CurrentMechanisms(
+    const std::string& query_id) const {
+  const QueryRecord* record = query_manager_.Find(query_id);
+  return record != nullptr ? record->assigned : std::set<query::SourceSel>{};
+}
+
+Result<query::SourceSel> ContextFactory::SelectMechanism(
+    const query::CxtQuery& q,
+    const std::set<query::SourceSel>& excluded) const {
+  // Preference order: own sensors (cheapest), then the ad hoc network,
+  // then the infrastructure (the 14 J hammer). Control policies bias the
+  // order: reducePower demotes extInfra below everything.
+  std::vector<query::SourceSel> order{query::SourceSel::kIntSensor,
+                                      query::SourceSel::kAdHocNetwork,
+                                      query::SourceSel::kExtInfra};
+  for (const query::SourceSel kind : order) {
+    if (excluded.contains(kind)) continue;
+    switch (kind) {
+      case query::SourceSel::kIntSensor:
+        if (LocalCxtProvider::CanServe(q, internal_ref_, bt_ref_)) {
+          return kind;
+        }
+        break;
+      case query::SourceSel::kAdHocNetwork:
+        if (AdHocCxtProvider::CanServe(bt_ref_, wifi_ref_)) return kind;
+        break;
+      case query::SourceSel::kExtInfra:
+        if (active_actions_.contains(RuleAction::kReducePower)) break;
+        if (InfraCxtProvider::CanServe(cell_ref_,
+                                       services_.default_infra_address)) {
+          return kind;
+        }
+        break;
+      case query::SourceSel::kAuto:
+        break;
+    }
+  }
+  return Unavailable("no provisioning mechanism can serve '" +
+                     q.select_type + "'");
+}
+
+Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
+                                                    Client& client) {
+  if (const Status s = query.Validate(); !s.ok()) return s;
+  if (query.id.empty()) {
+    query.id = services_.sim->ids().NextId("q");
+  }
+  const std::string id = query.id;
+  if (const Status s = query_manager_.Register(query, client); !s.ok()) {
+    return s;
+  }
+  QueryRecord* record = query_manager_.Find(id);
+
+  // Facade assignment: explicit FROM sources, or transparent selection.
+  std::set<query::SourceSel> kinds;
+  if (query.from.IsAuto()) {
+    const auto kind = SelectMechanism(query, {});
+    if (!kind.ok()) {
+      query_manager_.Remove(id);
+      return kind.status();
+    }
+    kinds.insert(*kind);
+    record->preferred = *kind;
+  } else {
+    for (const auto& src : query.from.sources) {
+      kinds.insert(src.kind == query::SourceSel::kAuto
+                       ? query::SourceSel::kExtInfra
+                       : src.kind);
+    }
+    record->preferred = *kinds.begin();
+  }
+
+  Status last;
+  std::size_t assigned = 0;
+  for (const query::SourceSel kind : kinds) {
+    const Status s = AssignToFacade(*record, kind);
+    if (s.ok()) {
+      ++assigned;
+    } else {
+      last = s;
+    }
+  }
+  if (assigned == 0) {
+    query_manager_.Remove(id);
+    return last;
+  }
+  CLOG_INFO(kModule, "query %s (%s) assigned to %zu facade(s)", id.c_str(),
+            query.select_type.c_str(), assigned);
+  return id;
+}
+
+Status ContextFactory::AssignToFacade(QueryRecord& record,
+                                      query::SourceSel kind) {
+  const Status s = facades_.at(kind)->Submit(record.query);
+  if (s.ok()) record.assigned.insert(kind);
+  return s;
+}
+
+void ContextFactory::CancelCxtQuery(const std::string& query_id) {
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr) return;
+  for (const query::SourceSel kind : record->assigned) {
+    facades_.at(kind)->Cancel(query_id);
+  }
+  recovery_probes_.erase(query_id);
+  aggregators_.erase(query_id);
+  query_manager_.Remove(query_id);
+}
+
+void ContextFactory::OnDelivery(query::SourceSel kind,
+                                const std::string& query_id,
+                                const CxtItem& item) {
+  (void)kind;
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr || record->client == nullptr) return;
+  // Dedup by item id only when several mechanisms serve the query; a
+  // single mechanism legitimately re-delivers an unchanged observation on
+  // every periodic round.
+  const bool multi_mechanism = record->assigned.size() > 1;
+  const bool fresh = query_manager_.RecordDelivery(*record, item.id);
+  if (!fresh) {
+    if (multi_mechanism) return;  // duplicate across mechanisms
+    ++record->items_delivered;    // same observation, new periodic round
+  }
+  // Optional fusion aggregation for multi-mechanism queries.
+  const auto agg = aggregators_.find(query_id);
+  if (agg != aggregators_.end()) {
+    auto fused = agg->second.Process(item);
+    if (!fused.has_value()) return;
+    repository_.Store(*fused);
+    record->client->ReceiveCxtItem(*fused);
+    return;
+  }
+  repository_.Store(item);
+  record->client->ReceiveCxtItem(item);
+}
+
+void ContextFactory::OnFinished(query::SourceSel kind,
+                                const std::string& query_id,
+                                const Status& status) {
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr) return;
+  record->assigned.erase(kind);
+  if (status.ok()) {
+    // Duration complete on this mechanism; the query is over when no
+    // facade still serves it.
+    if (record->assigned.empty()) {
+      recovery_probes_.erase(query_id);
+      aggregators_.erase(query_id);
+      query_manager_.Remove(query_id);
+    }
+    return;
+  }
+  CLOG_INFO(kModule, "query %s failed on %s: %s", query_id.c_str(),
+            query::SourceSelName(kind), status.ToString().c_str());
+  record->failed.insert(kind);
+  TryFailover(*record, kind, status);
+}
+
+void ContextFactory::TryFailover(QueryRecord& record,
+                                 query::SourceSel failed_kind,
+                                 const Status& status) {
+  // "if a BT-GPS device suddenly disconnects, the location provisioning
+  // task can be moved from a LocalLocationProvider ... to an
+  // AdHocLocationProvider".
+  const auto replacement = SelectMechanism(record.query, record.failed);
+  if (!replacement.ok()) {
+    if (record.client != nullptr) {
+      record.client->InformError("query " + record.query.id +
+                                 " lost its provisioning mechanism (" +
+                                 status.ToString() +
+                                 ") and no alternative is available");
+    }
+    if (record.assigned.empty()) {
+      query_manager_.Remove(record.query.id);
+    }
+    return;
+  }
+  const Status s = AssignToFacade(record, *replacement);
+  if (!s.ok()) {
+    record.failed.insert(*replacement);
+    TryFailover(record, failed_kind, status);
+    return;
+  }
+  switch_log_.push_back(SwitchEvent{services_.sim->Now(), record.query.id,
+                                    failed_kind, *replacement});
+  CLOG_INFO(kModule, "query %s switched %s -> %s", record.query.id.c_str(),
+            query::SourceSelName(failed_kind),
+            query::SourceSelName(*replacement));
+  if (record.client != nullptr) {
+    record.client->InformError(
+        std::string("provisioning switched from ") +
+        query::SourceSelName(failed_kind) + " to " +
+        query::SourceSelName(*replacement));
+  }
+  // Arm the switch-back probe toward the preferred mechanism.
+  if (record.preferred == failed_kind) {
+    StartRecoveryProbe(record.query.id);
+  }
+}
+
+void ContextFactory::StartRecoveryProbe(const std::string& query_id) {
+  if (recovery_probes_.contains(query_id)) return;
+  recovery_probes_[query_id] = std::make_unique<sim::PeriodicTask>(
+      *services_.sim, config_.recovery_probe_period,
+      [this, query_id] { ProbeRecovery(query_id); });
+}
+
+void ContextFactory::ProbeRecovery(const std::string& query_id) {
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  const query::SourceSel preferred = record->preferred;
+  if (record->assigned.contains(preferred)) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  // The only probe that needs real work is the BT-GPS one: re-run
+  // discovery (this is the 163-292 mW cost Fig. 5 attributes to the
+  // switches) and look for the NMEA service.
+  if (preferred == query::SourceSel::kIntSensor &&
+      (record->query.select_type == vocab::kLocation ||
+       record->query.select_type == vocab::kSpeed) &&
+      !internal_ref_.HasSourceOfType(record->query.select_type)) {
+    if (!bt_ref_.Available()) return;
+    bt_ref_.InvalidateDiscoveryCache();
+    bt_ref_.Discover(
+        SimDuration::zero(),
+        [this, query_id](Result<std::vector<net::BtDeviceInfo>> devices) {
+          if (!devices.ok() || devices->empty()) return;
+          QueryRecord* record = query_manager_.Find(query_id);
+          if (record == nullptr) return;
+          // Check each device for the GPS service, then switch back.
+          const auto device = devices->front();
+          bt_ref_.controller()->DiscoverServices(
+              device.node, sensors::kGpsServiceName,
+              [this, query_id](Result<std::vector<net::ServiceRecord>>
+                                   records) {
+                if (!records.ok() || records->empty()) return;
+                QueryRecord* record = query_manager_.Find(query_id);
+                if (record == nullptr) return;
+                const query::SourceSel preferred = record->preferred;
+                if (record->assigned.contains(preferred)) return;
+                // Tear down the stopgap mechanism and switch back.
+                for (const query::SourceSel kind : record->assigned) {
+                  facades_.at(kind)->Cancel(query_id);
+                }
+                const auto old = record->assigned;
+                record->assigned.clear();
+                record->failed.erase(preferred);
+                if (AssignToFacade(*record, preferred).ok()) {
+                  const query::SourceSel from =
+                      old.empty() ? preferred : *old.begin();
+                  switch_log_.push_back(SwitchEvent{
+                      services_.sim->Now(), query_id, from, preferred});
+                  CLOG_INFO(kModule, "query %s switched back to %s",
+                            query_id.c_str(),
+                            query::SourceSelName(preferred));
+                  if (record->client != nullptr) {
+                    record->client->InformError(
+                        std::string("provisioning restored to ") +
+                        query::SourceSelName(preferred));
+                  }
+                  recovery_probes_.erase(query_id);
+                }
+              });
+        });
+    return;
+  }
+  // Generic probe: switch back as soon as CanServe holds again.
+  std::set<query::SourceSel> exclude_all_but_preferred;
+  for (const query::SourceSel kind :
+       {query::SourceSel::kIntSensor, query::SourceSel::kAdHocNetwork,
+        query::SourceSel::kExtInfra}) {
+    if (kind != preferred) exclude_all_but_preferred.insert(kind);
+  }
+  const auto available =
+      SelectMechanism(record->query, exclude_all_but_preferred);
+  if (!available.ok()) return;
+  for (const query::SourceSel kind : record->assigned) {
+    facades_.at(kind)->Cancel(query_id);
+  }
+  const auto old = record->assigned;
+  record->assigned.clear();
+  record->failed.erase(preferred);
+  if (AssignToFacade(*record, preferred).ok()) {
+    switch_log_.push_back(SwitchEvent{services_.sim->Now(), query_id,
+                                      old.empty() ? preferred : *old.begin(),
+                                      preferred});
+    recovery_probes_.erase(query_id);
+  }
+}
+
+Status ContextFactory::PublishCxtItem(const CxtItem& item, bool publish,
+                                      std::string access_key) {
+  // "In order to be eligible to publish context items ... the publisher
+  // must register and be authenticated."
+  if (registered_servers_.empty()) {
+    return PermissionDenied(
+        "publishCxtItem requires a registered context server "
+        "(registerCxtServer)");
+  }
+  if (!publish) {
+    publisher_->Unpublish(item.type);
+    return Status::Ok();
+  }
+  publisher_->Publish(item, std::move(access_key));
+  repository_.Store(item);
+  return Status::Ok();
+}
+
+void ContextFactory::StoreCxtItem(const CxtItem& item,
+                                  std::function<void(Status)> done) {
+  repository_.Store(item);
+  if (!cell_ref_.Available() || services_.default_infra_address.empty()) {
+    if (done) done(Unavailable("no infrastructure connectivity"));
+    return;  // local-only until connectivity returns
+  }
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(infra::ServerOp::kStore));
+  w.WriteString(services_.phone->name());
+  const auto pos = services_.medium->GetPosition(services_.node);
+  w.WriteBool(pos.ok());
+  if (pos.ok()) {
+    const GeoPoint geo = sensors::ToGeo(*pos);
+    w.WriteF64(geo.lat);
+    w.WriteF64(geo.lon);
+  }
+  item.Encode(w);
+  if (w.size() < infra::kEventNotificationBytes) {
+    w.WritePadding(infra::kEventNotificationBytes - w.size());
+  }
+  cell_ref_.SendRequest(
+      services_.default_infra_address, std::move(w).Take(),
+      [done = std::move(done)](Result<std::vector<std::byte>> r) {
+        if (done) done(r.ok() ? Status::Ok() : r.status());
+      });
+}
+
+Status ContextFactory::EnableFusion(const std::string& query_id,
+                                    AggregatorConfig config) {
+  if (query_manager_.Find(query_id) == nullptr) {
+    return NotFound("no active query '" + query_id + "'");
+  }
+  aggregators_.erase(query_id);
+  aggregators_.emplace(std::piecewise_construct,
+                       std::forward_as_tuple(query_id),
+                       std::forward_as_tuple(*services_.sim, config));
+  return Status::Ok();
+}
+
+Status ContextFactory::RegisterCxtServer(Client& client) {
+  if (registered_servers_.contains(&client)) {
+    return AlreadyExists("client already registered");
+  }
+  registered_servers_.insert(&client);
+  return Status::Ok();
+}
+
+void ContextFactory::DeregisterCxtServer(Client& client) {
+  registered_servers_.erase(&client);
+}
+
+void ContextFactory::AddControlPolicy(ContextRule rule) {
+  rules_.AddRule(std::move(rule));
+  EvaluatePolicies();
+}
+
+void ContextFactory::EvaluatePolicies() {
+  const auto actions = rules_.Evaluate(monitor_.AsLookup());
+  const auto newly_active = [&](RuleAction a) {
+    return actions.contains(a) && !active_actions_.contains(a);
+  };
+  const bool power = newly_active(RuleAction::kReducePower);
+  const bool memory = newly_active(RuleAction::kReduceMemory);
+  const bool load = newly_active(RuleAction::kReduceLoad);
+  active_actions_ = actions;
+  if (power) EnforceReducePower();
+  if (memory) EnforceReduceMemory();
+  if (load) EnforceReduceLoad();
+}
+
+void ContextFactory::EnforceReducePower() {
+  // "the activation of the reducePower action can cause the suspension or
+  // termination of high energy-consuming queries (e.g., those using the
+  // 2G/3GReference)".
+  CLOG_INFO(kModule, "reducePower active: suspending extInfra queries");
+  facades_.at(query::SourceSel::kExtInfra)
+      ->StopAll(ResourceExhausted("reducePower policy suspended the query"));
+}
+
+void ContextFactory::EnforceReduceMemory() {
+  const std::size_t target =
+      std::max<std::size_t>(1, repository_.capacity_per_type() / 2);
+  CLOG_INFO(kModule, "reduceMemory active: repository rings -> %zu", target);
+  repository_.Shrink(target);
+}
+
+void ContextFactory::EnforceReduceLoad() {
+  // Keep at most reduce_load_provider_cap providers: suspend the rest,
+  // preferring to keep the cheap mechanisms.
+  std::size_t active = active_provider_count();
+  if (active <= config_.reduce_load_provider_cap) return;
+  CLOG_INFO(kModule, "reduceLoad active: %zu providers > cap %zu", active,
+            config_.reduce_load_provider_cap);
+  for (const query::SourceSel kind :
+       {query::SourceSel::kExtInfra, query::SourceSel::kAdHocNetwork,
+        query::SourceSel::kIntSensor}) {
+    if (active <= config_.reduce_load_provider_cap) break;
+    Facade& f = *facades_.at(kind);
+    const std::size_t here = f.active_provider_count();
+    if (here == 0) continue;
+    f.StopAll(ResourceExhausted("reduceLoad policy suspended the query"));
+    active -= here;
+  }
+}
+
+}  // namespace contory::core

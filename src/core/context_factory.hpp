@@ -1,0 +1,205 @@
+// ContextFactory (Sec. 4.3, 4.4) — the core of Contory.
+//
+// "One ContextFactory is instantiated on each device and made accessible
+// to multiple applications. Based on the Factory Method design pattern,
+// ... the ContextFactory offers an interface to submit context queries,
+// but lets Facade components (subclasses) decide which ContextProvider
+// components (classes) to instantiate."
+//
+// Responsibilities implemented here:
+//  * the paper's public interface (processCxtQuery, cancelCxtQuery,
+//    publishCxtItem, storeCxtItem, registerCxtServer, deregisterCxtServer);
+//  * mechanism selection for transparent (FROM-less) queries, "based on
+//    the requirements specified in the query's FROM clause, based on
+//    sensor availability, and in the respect of the active control
+//    policies";
+//  * failover: when a provider fails, re-selection excluding the failed
+//    mechanism, plus a recovery probe that switches back when the
+//    preferred mechanism (e.g. the BT-GPS) reappears — the Fig. 5 cycle;
+//  * control-policy enforcement (reducePower / reduceMemory / reduceLoad).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/access_controller.hpp"
+#include "core/client.hpp"
+#include "core/device_services.hpp"
+#include "core/facade.hpp"
+#include "core/providers/adhoc_provider.hpp"
+#include "core/providers/aggregator.hpp"
+#include "core/publisher.hpp"
+#include "core/query_manager.hpp"
+#include "core/references/bt_reference.hpp"
+#include "core/references/cellular_reference.hpp"
+#include "core/references/internal_reference.hpp"
+#include "core/references/wifi_reference.hpp"
+#include "core/repository.hpp"
+#include "core/resources_monitor.hpp"
+#include "core/rules.hpp"
+
+namespace contory::core {
+
+struct ContextFactoryConfig {
+  query::MergePolicy merge_policy;
+  CxtRepositoryConfig repository;
+  AccessControllerConfig access;
+  ResourcesMonitorConfig resources;
+  /// Period of the control-policy evaluation loop.
+  SimDuration policy_period = std::chrono::seconds{5};
+  /// Recovery-probe interval after a failover (Fig. 5: how soon the
+  /// factory notices the GPS is back).
+  SimDuration recovery_probe_period = std::chrono::seconds{30};
+  /// reduceLoad caps the total provider count at this value.
+  std::size_t reduce_load_provider_cap = 2;
+  /// On-demand SM-FINDER rounds lost to mobility are relaunched this many
+  /// times before the query fails.
+  int adhoc_finder_retries = 1;
+  /// Disables query merging entirely (ablation benches).
+  bool enable_query_merging = true;
+};
+
+class ContextFactory {
+ public:
+  ContextFactory(DeviceServices services, ContextFactoryConfig config = {});
+  ~ContextFactory();
+
+  ContextFactory(const ContextFactory&) = delete;
+  ContextFactory& operator=(const ContextFactory&) = delete;
+
+  // --- The paper's ContextFactory interface (Sec. 4.4) -----------------
+
+  /// Submits a context query on behalf of `client`; returns the assigned
+  /// query id. The query's FROM clause (or its absence) drives facade
+  /// assignment.
+  Result<std::string> ProcessCxtQuery(query::CxtQuery query, Client& client);
+
+  /// Cancels an active query.
+  void CancelCxtQuery(const std::string& query_id);
+
+  /// Publishes (or, with publish=false, withdraws) a context item in the
+  /// ad hoc network. Requires prior registerCxtServer authentication.
+  /// A non-empty `access_key` selects authenticated access mode.
+  Status PublishCxtItem(const CxtItem& item, bool publish,
+                        std::string access_key = {});
+
+  /// Stores an item locally and in the remote infrastructure repository.
+  /// `done` (optional) reports the remote acknowledgement — this is the
+  /// paper's extInfra publishCxtItem round trip.
+  void StoreCxtItem(const CxtItem& item,
+                    std::function<void(Status)> done = {});
+
+  /// Registers a client as an authenticated context server (publisher).
+  Status RegisterCxtServer(Client& client);
+  void DeregisterCxtServer(Client& client);
+
+  /// Enables result aggregation for an active query — "combining results
+  /// collected through different context mechanisms allows applications
+  /// to partly relieve the uncertainty of single context sources".
+  /// Numeric fusion replaces each delivery with the accuracy-weighted
+  /// combination of the recent window.
+  Status EnableFusion(const std::string& query_id,
+                      AggregatorConfig config = {
+                          .strategy = AggregationStrategy::kFuseNumeric});
+
+  // --- Control policies --------------------------------------------------
+  void AddControlPolicy(ContextRule rule);
+  /// Actions active at the last policy evaluation.
+  [[nodiscard]] const std::set<RuleAction>& active_actions() const noexcept {
+    return active_actions_;
+  }
+
+  // --- Introspection (tests, benches, examples) ------------------------
+  [[nodiscard]] QueryManager& queries() noexcept { return query_manager_; }
+  [[nodiscard]] ResourcesMonitor& resources() noexcept { return monitor_; }
+  [[nodiscard]] AccessController& access() noexcept { return access_; }
+  [[nodiscard]] CxtRepository& repository() noexcept { return repository_; }
+  [[nodiscard]] CxtPublisher& publisher() noexcept { return *publisher_; }
+  [[nodiscard]] InternalReference& internal_reference() noexcept {
+    return internal_ref_;
+  }
+  [[nodiscard]] BTReference& bt_reference() noexcept { return bt_ref_; }
+  [[nodiscard]] WiFiReference& wifi_reference() noexcept { return wifi_ref_; }
+  [[nodiscard]] CellularReference& cellular_reference() noexcept {
+    return cell_ref_;
+  }
+  [[nodiscard]] Facade& facade(query::SourceSel kind);
+  [[nodiscard]] std::size_t active_provider_count() const;
+
+  /// The mechanism currently provisioning `query_id` (diagnostics; the
+  /// Fig. 5 bench reads this to timestamp the switches).
+  [[nodiscard]] std::set<query::SourceSel> CurrentMechanisms(
+      const std::string& query_id) const;
+
+  /// Log of provisioning switches: (time, query id, from, to).
+  struct SwitchEvent {
+    SimTime at;
+    std::string query_id;
+    query::SourceSel from;
+    query::SourceSel to;
+  };
+  [[nodiscard]] const std::vector<SwitchEvent>& switch_log() const noexcept {
+    return switch_log_;
+  }
+
+ private:
+  void WireReferences();
+  void BuildFacades();
+  [[nodiscard]] std::unique_ptr<CxtProvider> MakeProvider(
+      query::SourceSel kind, query::CxtQuery q,
+      CxtProvider::Callbacks callbacks);
+
+  /// Mechanism selection for one query, excluding `excluded` kinds.
+  /// "in resource-rich environments, powerful context infrastructures can
+  /// provide applications with required context data ... Conversely, in
+  /// resource-impoverished environments, devices can rely either on their
+  /// own sensors ... or on neighboring devices."
+  [[nodiscard]] Result<query::SourceSel> SelectMechanism(
+      const query::CxtQuery& q,
+      const std::set<query::SourceSel>& excluded) const;
+
+  Status AssignToFacade(QueryRecord& record, query::SourceSel kind);
+  void OnDelivery(query::SourceSel kind, const std::string& query_id,
+                  const CxtItem& item);
+  void OnFinished(query::SourceSel kind, const std::string& query_id,
+                  const Status& status);
+  void TryFailover(QueryRecord& record, query::SourceSel failed_kind,
+                   const Status& status);
+  void StartRecoveryProbe(const std::string& query_id);
+  void ProbeRecovery(const std::string& query_id);
+
+  void EvaluatePolicies();
+  void EnforceReducePower();
+  void EnforceReduceMemory();
+  void EnforceReduceLoad();
+
+  DeviceServices services_;
+  ContextFactoryConfig config_;
+
+  InternalReference internal_ref_;
+  BTReference bt_ref_;
+  WiFiReference wifi_ref_;
+  CellularReference cell_ref_;
+
+  ResourcesMonitor monitor_;
+  AccessController access_;
+  CxtRepository repository_;
+  std::unique_ptr<CxtPublisher> publisher_;
+  QueryManager query_manager_;
+  RulesEngine rules_;
+
+  std::map<query::SourceSel, std::unique_ptr<Facade>> facades_;
+  std::set<Client*> registered_servers_;
+  std::set<RuleAction> active_actions_;
+  std::unique_ptr<sim::PeriodicTask> policy_task_;
+  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> recovery_probes_;
+  std::vector<SwitchEvent> switch_log_;
+  /// Per-query fusion aggregators (EnableFusion-style API could extend
+  /// this; pass-through dedup is handled by the QueryManager).
+  std::map<std::string, CxtAggregator> aggregators_;
+  std::shared_ptr<bool> life_ = std::make_shared<bool>(true);
+};
+
+}  // namespace contory::core

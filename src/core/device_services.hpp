@@ -1,0 +1,46 @@
+// Binding between one Contory instance and the device it runs on.
+//
+// The middleware is constructed over whatever radios and sensors the
+// device actually has — a Nokia 6630 has BT + UMTS but no WiFi, the 9500
+// communicator has WiFi, a bare test device may have nothing. Null
+// pointers mean "this device does not have that module"; the references
+// and the factory degrade gracefully (that heterogeneity is the paper's
+// whole point).
+#pragma once
+
+#include <string>
+
+#include "net/bluetooth.hpp"
+#include "net/cellular.hpp"
+#include "net/medium.hpp"
+#include "net/wifi.hpp"
+#include "phone/smart_phone.hpp"
+#include "sensors/environment.hpp"
+#include "sim/simulation.hpp"
+#include "sm/sm_runtime.hpp"
+
+namespace contory::core {
+
+struct DeviceServices {
+  sim::Simulation* sim = nullptr;        // required
+  phone::SmartPhone* phone = nullptr;    // required
+  net::Medium* medium = nullptr;         // required
+  net::NodeId node = net::kInvalidNode;  // required
+
+  net::BluetoothController* bt = nullptr;    // optional
+  net::WifiController* wifi = nullptr;       // optional
+  sm::SmRuntime* sm = nullptr;               // optional (needs wifi)
+  net::CellularModem* modem = nullptr;       // optional
+
+  /// Shared synthetic environment; internal sensors sample it.
+  sensors::EnvironmentField* environment = nullptr;  // optional
+
+  /// Default context-infrastructure address for extInfra queries whose
+  /// FROM clause names no host.
+  std::string default_infra_address;
+
+  /// Validates the required fields; throws std::invalid_argument.
+  void CheckRequired() const;
+};
+
+}  // namespace contory::core

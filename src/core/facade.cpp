@@ -1,0 +1,171 @@
+#include "core/facade.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace contory::core {
+namespace {
+constexpr const char* kModule = "facade";
+}
+
+Facade::Facade(sim::Simulation& sim, query::SourceSel kind,
+               ProviderFactory provider_factory, query::MergePolicy policy)
+    : sim_(sim),
+      kind_(kind),
+      provider_factory_(std::move(provider_factory)),
+      policy_(policy) {
+  if (!provider_factory_) {
+    throw std::invalid_argument("Facade: null provider factory");
+  }
+}
+
+Facade::~Facade() { *life_ = false; }
+
+Status Facade::StartCluster(Cluster& cluster) {
+  Cluster* cluster_ptr = &cluster;
+  CxtProvider::Callbacks callbacks;
+  callbacks.deliver = [this, cluster_ptr](const CxtItem& item) {
+    OnProviderDelivery(*cluster_ptr, item);
+  };
+  callbacks.finished = [this, cluster_ptr](Status status) {
+    OnProviderFinished(*cluster_ptr, status);
+  };
+  cluster.provider =
+      provider_factory_(cluster.merged, std::move(callbacks));
+  if (cluster.provider == nullptr) {
+    return Internal("provider factory returned null");
+  }
+  ++providers_created_;
+  cluster.provider->Start();
+  return Status::Ok();
+}
+
+Status Facade::Submit(query::CxtQuery q) {
+  if (const Status s = q.Validate(); !s.ok()) return s;
+
+  // Query merging: join the first compatible live cluster.
+  for (auto& cluster : clusters_) {
+    if (cluster->dead) continue;
+    auto merged = query::Merge(cluster->merged, q, policy_);
+    if (!merged.ok()) continue;
+    CLOG_DEBUG(kModule, "%s: merged %s into %s",
+               query::SourceSelName(kind_), q.id.c_str(),
+               cluster->merged.id.c_str());
+    cluster->merged = *std::move(merged);
+    cluster->originals.push_back(std::move(q));
+    cluster->provider->UpdateQuery(cluster->merged);
+    return Status::Ok();
+  }
+
+  auto cluster = std::make_unique<Cluster>();
+  cluster->merged = q;
+  cluster->originals.push_back(std::move(q));
+  Cluster& ref = *cluster;
+  clusters_.push_back(std::move(cluster));
+  const Status s = StartCluster(ref);
+  if (!s.ok()) {
+    clusters_.pop_back();
+  }
+  return s;
+}
+
+void Facade::OnProviderDelivery(Cluster& cluster, const CxtItem& item) {
+  if (cluster.dead || !delivery_) return;
+  // Post-extraction: each original query gets exactly the data matching
+  // its own clauses.
+  for (const auto& original : cluster.originals) {
+    if (query::PostExtract(original, item, sim_.Now())) {
+      delivery_(original.id, item);
+    }
+  }
+}
+
+void Facade::OnProviderFinished(Cluster& cluster, const Status& status) {
+  if (cluster.dead) return;
+  cluster.dead = true;
+  if (finished_) {
+    for (const auto& original : cluster.originals) {
+      finished_(original.id, status);
+    }
+  }
+  ScheduleReap();
+}
+
+void Facade::ScheduleReap() {
+  if (reap_scheduled_) return;
+  reap_scheduled_ = true;
+  // Providers call finished() from their own stack; destroy them from a
+  // fresh event instead.
+  sim_.ScheduleAfter(SimDuration::zero(), [this, life = life_] {
+    if (!*life) return;
+    reap_scheduled_ = false;
+    std::erase_if(clusters_, [](const std::unique_ptr<Cluster>& c) {
+      return c->dead;
+    });
+  }, "facade.reap");
+}
+
+void Facade::Cancel(const std::string& query_id) {
+  for (auto& cluster : clusters_) {
+    if (cluster->dead) continue;
+    const auto it = std::find_if(
+        cluster->originals.begin(), cluster->originals.end(),
+        [&](const query::CxtQuery& q) { return q.id == query_id; });
+    if (it == cluster->originals.end()) continue;
+    cluster->originals.erase(it);
+    if (cluster->originals.empty()) {
+      cluster->provider->Stop();
+      cluster->dead = true;
+      ScheduleReap();
+      return;
+    }
+    // Re-merge the remaining originals so the provider narrows back.
+    auto merged = query::MergeAll(cluster->originals, policy_);
+    if (merged.ok()) {
+      cluster->merged = *std::move(merged);
+      cluster->provider->UpdateQuery(cluster->merged);
+    }
+    return;
+  }
+}
+
+void Facade::StopAll(const Status& status) {
+  for (auto& cluster : clusters_) {
+    if (cluster->dead) continue;
+    cluster->provider->Stop();
+    cluster->dead = true;
+    if (finished_) {
+      for (const auto& original : cluster->originals) {
+        finished_(original.id, status);
+      }
+    }
+  }
+  ScheduleReap();
+}
+
+std::size_t Facade::active_provider_count() const {
+  std::size_t n = 0;
+  for (const auto& cluster : clusters_) {
+    if (!cluster->dead) ++n;
+  }
+  return n;
+}
+
+std::size_t Facade::active_original_count() const {
+  std::size_t n = 0;
+  for (const auto& cluster : clusters_) {
+    if (!cluster->dead) n += cluster->originals.size();
+  }
+  return n;
+}
+
+std::vector<std::string> Facade::ActiveMergedIds() const {
+  std::vector<std::string> ids;
+  for (const auto& cluster : clusters_) {
+    if (!cluster->dead) ids.push_back(cluster->merged.id);
+  }
+  return ids;
+}
+
+}  // namespace contory::core

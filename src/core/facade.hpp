@@ -1,0 +1,97 @@
+// Facade modules (Sec. 4.3).
+//
+// "For each of the three types of context provisioning mechanisms
+// supported, a corresponding Facade module offers a unified interface for
+// managing CxtProviders of that specific type. ... Once the query has
+// been assigned to a Facade, in order to avoid redundancy and keep the
+// number of active queries minimal, the Facade performs query
+// aggregation": merging on submission, post-extraction on delivery.
+// "CxtProviders of different Facades can be assigned to the same query,
+// but each CxtProvider is assigned only to one (single or merged) query
+// at time."
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/providers/provider.hpp"
+#include "core/query/merge.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+class Facade {
+ public:
+  /// Builds a provider of this facade's mechanism for a (merged) query.
+  using ProviderFactory = std::function<std::unique_ptr<CxtProvider>(
+      query::CxtQuery, CxtProvider::Callbacks)>;
+  /// Result for one *original* query (post-extraction already applied).
+  using Delivery =
+      std::function<void(const std::string& query_id, const CxtItem&)>;
+  /// One original query finished on this facade: Ok (duration complete)
+  /// or a transport failure the factory should react to.
+  using Finished = std::function<void(const std::string& query_id,
+                                      const Status& status)>;
+
+  Facade(sim::Simulation& sim, query::SourceSel kind,
+         ProviderFactory provider_factory, query::MergePolicy policy = {});
+  ~Facade();
+
+  Facade(const Facade&) = delete;
+  Facade& operator=(const Facade&) = delete;
+
+  [[nodiscard]] query::SourceSel kind() const noexcept { return kind_; }
+
+  void SetDelivery(Delivery delivery) { delivery_ = std::move(delivery); }
+  void SetFinished(Finished finished) { finished_ = std::move(finished); }
+
+  /// Assigns a query: merged into an existing compatible cluster (the
+  /// provider's parameters are updated) or given a fresh provider.
+  Status Submit(query::CxtQuery q);
+
+  /// Cancels one original query. The cluster re-merges the remaining
+  /// originals or, when none remain, its provider stops.
+  void Cancel(const std::string& query_id);
+
+  /// Stops every provider, reporting `status` per original (used by
+  /// control-policy enforcement: reducePower suspends queries).
+  void StopAll(const Status& status);
+
+  [[nodiscard]] std::size_t active_provider_count() const;
+  [[nodiscard]] std::size_t active_original_count() const;
+  /// The merged query texts currently driving providers (diagnostics).
+  [[nodiscard]] std::vector<std::string> ActiveMergedIds() const;
+  /// Total providers ever created (the merging ablation's key metric).
+  [[nodiscard]] std::uint64_t providers_created() const noexcept {
+    return providers_created_;
+  }
+
+ private:
+  struct Cluster {
+    query::CxtQuery merged;
+    std::vector<query::CxtQuery> originals;
+    std::unique_ptr<CxtProvider> provider;
+    bool dead = false;
+  };
+
+  void OnProviderDelivery(Cluster& cluster, const CxtItem& item);
+  void OnProviderFinished(Cluster& cluster, const Status& status);
+  /// Destroys dead clusters outside provider callbacks.
+  void ScheduleReap();
+  Status StartCluster(Cluster& cluster);
+
+  sim::Simulation& sim_;
+  query::SourceSel kind_;
+  ProviderFactory provider_factory_;
+  query::MergePolicy policy_;
+  Delivery delivery_;
+  Finished finished_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
+  bool reap_scheduled_ = false;
+  std::uint64_t providers_created_ = 0;
+  std::shared_ptr<bool> life_ = std::make_shared<bool>(true);
+};
+
+}  // namespace contory::core

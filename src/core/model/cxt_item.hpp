@@ -1,0 +1,77 @@
+// Context item: the unit of context exchange in Contory.
+//
+// "Each cxtItem consists of type (context category), value (current
+// value(s) of the item), and timestamp (the time at which the context item
+// had such a value). Optionally, it can have a lifetime (validity
+// duration), a source identifier (e.g., sensor, infrastructure, and device
+// addresses), and other metadata information" (Sec. 4.1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "core/model/cxt_value.hpp"
+#include "core/model/metadata.hpp"
+
+namespace contory {
+
+/// Which provisioning mechanism produced an item.
+enum class SourceKind : std::uint8_t {
+  kUnknown = 0,
+  kIntSensor,
+  kExtInfra,
+  kAdHocNetwork,
+  kApplication,  // published directly by a client
+};
+
+[[nodiscard]] const char* SourceKindName(SourceKind k) noexcept;
+
+/// Identifier of the entity that produced a context item.
+struct SourceId {
+  SourceKind kind = SourceKind::kUnknown;
+  /// Sensor, infrastructure or device address ("bt:gps-1", "node:7",
+  /// "infra.dynamos.fi").
+  std::string address;
+
+  [[nodiscard]] std::string ToString() const;
+  friend bool operator==(const SourceId&, const SourceId&) = default;
+};
+
+struct CxtItem {
+  std::string id;  // unique per item, for dedup across mechanisms
+  std::string type;
+  CxtValue value;
+  SimTime timestamp{};
+  /// Validity duration; nullopt = does not expire.
+  std::optional<SimDuration> lifetime;
+  SourceId source;
+  Metadata metadata;
+
+  /// True when the item is no older than `freshness` at time `now`
+  /// (FRESHNESS clause semantics: "how recent the context data must be").
+  [[nodiscard]] bool IsFresh(SimTime now, SimDuration freshness) const {
+    return now - timestamp <= freshness;
+  }
+
+  /// True when the lifetime has elapsed at `now`.
+  [[nodiscard]] bool IsExpired(SimTime now) const {
+    return lifetime.has_value() && timestamp + *lifetime <= now;
+  }
+
+  /// "temperature=14 @t=12.000s [accuracy=0.2] (adHocNetwork node:3)".
+  [[nodiscard]] std::string ToString() const;
+
+  /// Serializes to the prototype's wire format. Pads to the type's
+  /// envelope size from the vocabulary (wind: 53 B, location: 136 B, ...)
+  /// so transport costs match the paper's Table 1/2 payloads.
+  [[nodiscard]] std::vector<std::byte> Serialize() const;
+  [[nodiscard]] static Result<CxtItem> Deserialize(
+      const std::vector<std::byte>& wire);
+  [[nodiscard]] static Result<CxtItem> Deserialize(ByteReader& r);
+  void Encode(ByteWriter& w) const;
+};
+
+}  // namespace contory

@@ -1,0 +1,123 @@
+#include "core/model/cxt_value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+namespace contory {
+namespace {
+
+enum class Kind : std::uint8_t { kNumber = 1, kString, kBool, kGeo };
+
+}  // namespace
+
+double DistanceMeters(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadius = 6'371'000.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double mean_lat = (a.lat + b.lat) / 2.0 * kDegToRad;
+  const double dx = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double dy = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadius * std::hypot(dx, dy);
+}
+
+Result<double> CxtValue::AsNumber() const {
+  if (const auto* v = std::get_if<double>(&value_)) return *v;
+  return InvalidArgument("value is not numeric: " + ToString());
+}
+
+Result<std::string> CxtValue::AsString() const {
+  if (const auto* v = std::get_if<std::string>(&value_)) return *v;
+  return InvalidArgument("value is not a string: " + ToString());
+}
+
+Result<bool> CxtValue::AsBool() const {
+  if (const auto* v = std::get_if<bool>(&value_)) return *v;
+  return InvalidArgument("value is not boolean: " + ToString());
+}
+
+Result<GeoPoint> CxtValue::AsGeo() const {
+  if (const auto* v = std::get_if<GeoPoint>(&value_)) return *v;
+  return InvalidArgument("value is not geographic: " + ToString());
+}
+
+std::string CxtValue::ToString() const {
+  char buf[64];
+  if (const auto* d = std::get_if<double>(&value_)) {
+    std::snprintf(buf, sizeof buf, "%g", *d);
+    return buf;
+  }
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  if (const auto* b = std::get_if<bool>(&value_)) return *b ? "true" : "false";
+  const auto& g = std::get<GeoPoint>(value_);
+  std::snprintf(buf, sizeof buf, "%.4f,%.4f", g.lat, g.lon);
+  return buf;
+}
+
+bool operator==(const CxtValue& a, const CxtValue& b) noexcept {
+  return a.value_ == b.value_;
+}
+
+Result<int> CxtValue::Compare(const CxtValue& other) const {
+  if (is_number() && other.is_number()) {
+    const double lhs = std::get<double>(value_);
+    const double rhs = std::get<double>(other.value_);
+    return lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    return std::get<std::string>(value_).compare(
+        std::get<std::string>(other.value_));
+  }
+  return InvalidArgument("values '" + ToString() + "' and '" +
+                         other.ToString() + "' are not ordered");
+}
+
+void CxtValue::Encode(ByteWriter& w) const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    w.WriteU8(static_cast<std::uint8_t>(Kind::kNumber));
+    w.WriteF64(*d);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    w.WriteU8(static_cast<std::uint8_t>(Kind::kString));
+    w.WriteString(*s);
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    w.WriteU8(static_cast<std::uint8_t>(Kind::kBool));
+    w.WriteBool(*b);
+  } else {
+    const auto& g = std::get<GeoPoint>(value_);
+    w.WriteU8(static_cast<std::uint8_t>(Kind::kGeo));
+    w.WriteF64(g.lat);
+    w.WriteF64(g.lon);
+  }
+}
+
+Result<CxtValue> CxtValue::Decode(ByteReader& r) {
+  const auto kind = r.ReadU8();
+  if (!kind.ok()) return kind.status();
+  switch (static_cast<Kind>(*kind)) {
+    case Kind::kNumber: {
+      const auto v = r.ReadF64();
+      if (!v.ok()) return v.status();
+      return CxtValue{*v};
+    }
+    case Kind::kString: {
+      auto v = r.ReadString();
+      if (!v.ok()) return v.status();
+      return CxtValue{*std::move(v)};
+    }
+    case Kind::kBool: {
+      const auto v = r.ReadBool();
+      if (!v.ok()) return v.status();
+      return CxtValue{*v};
+    }
+    case Kind::kGeo: {
+      const auto lat = r.ReadF64();
+      if (!lat.ok()) return lat.status();
+      const auto lon = r.ReadF64();
+      if (!lon.ok()) return lon.status();
+      return CxtValue{GeoPoint{*lat, *lon}};
+    }
+  }
+  return InvalidArgument("unknown CxtValue kind tag " +
+                         std::to_string(*kind));
+}
+
+}  // namespace contory

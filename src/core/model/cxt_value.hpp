@@ -1,0 +1,85 @@
+// Context value: the typed payload of a context item.
+//
+// Context items describe "spatial information (location, speed), temporal
+// information (time, duration), user status (activity, mood),
+// environmental information (temperature, light, noise), and resource
+// availability (nearby devices, device power)" (Sec. 4.1) — numerically
+// valued, textually valued, boolean, or geographic. CxtValue is the sum
+// type covering those, with ordered comparison where meaningful (query
+// predicates compare values) and a compact wire encoding.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace contory {
+
+/// A WGS84-ish coordinate (we use plain lat/lon degrees; the simulation's
+/// metric x/y positions are converted by the sensors that produce fixes).
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Distance in meters between two points, equirectangular approximation
+/// (fine for the few-km regatta scales the paper's application works at).
+[[nodiscard]] double DistanceMeters(const GeoPoint& a, const GeoPoint& b);
+
+class CxtValue {
+ public:
+  using Storage = std::variant<double, std::string, bool, GeoPoint>;
+
+  CxtValue() : value_(0.0) {}
+  // NOLINTBEGIN(google-explicit-constructor): value types convert freely.
+  CxtValue(double v) : value_(v) {}
+  CxtValue(int v) : value_(static_cast<double>(v)) {}
+  CxtValue(std::string v) : value_(std::move(v)) {}
+  CxtValue(const char* v) : value_(std::string{v}) {}
+  CxtValue(bool v) : value_(v) {}
+  CxtValue(GeoPoint v) : value_(v) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_geo() const noexcept {
+    return std::holds_alternative<GeoPoint>(value_);
+  }
+
+  /// Typed accessors; Status failure when the value has another type.
+  [[nodiscard]] Result<double> AsNumber() const;
+  [[nodiscard]] Result<std::string> AsString() const;
+  [[nodiscard]] Result<bool> AsBool() const;
+  [[nodiscard]] Result<GeoPoint> AsGeo() const;
+
+  [[nodiscard]] const Storage& storage() const noexcept { return value_; }
+
+  /// Human-readable rendering ("14.5", "walking", "60.1520,24.9090").
+  [[nodiscard]] std::string ToString() const;
+
+  /// Equality across same-typed values; false for mixed types.
+  friend bool operator==(const CxtValue& a, const CxtValue& b) noexcept;
+
+  /// Ordered comparison for numbers and strings. Status failure for
+  /// incomparable kinds (bool/geo or mixed types).
+  [[nodiscard]] Result<int> Compare(const CxtValue& other) const;
+
+  void Encode(ByteWriter& w) const;
+  [[nodiscard]] static Result<CxtValue> Decode(ByteReader& r);
+
+ private:
+  Storage value_;
+};
+
+}  // namespace contory

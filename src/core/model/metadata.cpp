@@ -1,0 +1,166 @@
+#include "core/model/metadata.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace contory {
+namespace {
+
+constexpr std::array<const char*, 6> kFields = {
+    "correctness", "precision", "accuracy", "completeness", "privacy",
+    "trust"};
+
+std::optional<std::uint8_t> EncodeOptional(std::optional<double> v) {
+  return v.has_value() ? std::optional<std::uint8_t>{1}
+                       : std::optional<std::uint8_t>{0};
+}
+
+}  // namespace
+
+const char* TrustLevelName(TrustLevel t) noexcept {
+  switch (t) {
+    case TrustLevel::kUntrusted: return "untrusted";
+    case TrustLevel::kUnknown: return "unknown";
+    case TrustLevel::kTrusted: return "trusted";
+  }
+  return "?";
+}
+
+const char* PrivacyLevelName(PrivacyLevel p) noexcept {
+  switch (p) {
+    case PrivacyLevel::kPublic: return "public";
+    case PrivacyLevel::kProtected: return "protected";
+    case PrivacyLevel::kPrivate: return "private";
+  }
+  return "?";
+}
+
+bool IsMetadataField(const std::string& name) noexcept {
+  for (const char* f : kFields) {
+    if (name == f) return true;
+  }
+  return false;
+}
+
+Result<double> Metadata::GetNumeric(const std::string& field) const {
+  const auto numeric = [&](const std::optional<double>& v) -> Result<double> {
+    if (!v.has_value()) return NotFound("metadata field '" + field + "' unset");
+    return *v;
+  };
+  if (field == "correctness") return numeric(correctness);
+  if (field == "precision") return numeric(precision);
+  if (field == "accuracy") return numeric(accuracy);
+  if (field == "completeness") return numeric(completeness);
+  if (field == "privacy") return static_cast<double>(privacy);
+  if (field == "trust") return static_cast<double>(trust);
+  return InvalidArgument("unknown metadata field '" + field + "'");
+}
+
+Status Metadata::SetNumeric(const std::string& field, double value) {
+  if (field == "correctness") {
+    correctness = value;
+  } else if (field == "precision") {
+    precision = value;
+  } else if (field == "accuracy") {
+    accuracy = value;
+  } else if (field == "completeness") {
+    completeness = value;
+  } else if (field == "privacy") {
+    privacy = static_cast<PrivacyLevel>(static_cast<int>(value));
+  } else if (field == "trust") {
+    trust = static_cast<TrustLevel>(static_cast<int>(value));
+  } else {
+    return InvalidArgument("unknown metadata field '" + field + "'");
+  }
+  return Status::Ok();
+}
+
+bool Metadata::Satisfies(const Metadata& required) const {
+  // Error-bound fields: smaller is better; the item must be at least as
+  // accurate/precise as requested (and must declare the field at all).
+  if (required.accuracy.has_value() &&
+      (!accuracy.has_value() || *accuracy > *required.accuracy)) {
+    return false;
+  }
+  if (required.precision.has_value() &&
+      (!precision.has_value() || *precision > *required.precision)) {
+    return false;
+  }
+  // Quality fields: larger is better.
+  if (required.correctness.has_value() &&
+      (!correctness.has_value() || *correctness < *required.correctness)) {
+    return false;
+  }
+  if (required.completeness.has_value() &&
+      (!completeness.has_value() || *completeness < *required.completeness)) {
+    return false;
+  }
+  if (trust < required.trust) return false;
+  // The item must not be more private than the requester tolerates.
+  if (privacy > required.privacy) return false;
+  return true;
+}
+
+std::string Metadata::ToString() const {
+  std::string out;
+  char buf[64];
+  const auto append = [&](const char* name, double v) {
+    if (!out.empty()) out += ',';
+    std::snprintf(buf, sizeof buf, "%s=%g", name, v);
+    out += buf;
+  };
+  if (correctness) append("correctness", *correctness);
+  if (precision) append("precision", *precision);
+  if (accuracy) append("accuracy", *accuracy);
+  if (completeness) append("completeness", *completeness);
+  if (privacy != PrivacyLevel::kPublic) {
+    if (!out.empty()) out += ',';
+    out += "privacy=";
+    out += PrivacyLevelName(privacy);
+  }
+  if (trust != TrustLevel::kUnknown) {
+    if (!out.empty()) out += ',';
+    out += "trust=";
+    out += TrustLevelName(trust);
+  }
+  return out;
+}
+
+void Metadata::Encode(ByteWriter& w) const {
+  for (const auto& field :
+       {correctness, precision, accuracy, completeness}) {
+    w.WriteU8(*EncodeOptional(field));
+    if (field.has_value()) w.WriteF64(*field);
+  }
+  w.WriteU8(static_cast<std::uint8_t>(privacy));
+  w.WriteU8(static_cast<std::uint8_t>(trust));
+}
+
+Result<Metadata> Metadata::Decode(ByteReader& r) {
+  Metadata m;
+  for (std::optional<double>* field :
+       {&m.correctness, &m.precision, &m.accuracy, &m.completeness}) {
+    const auto present = r.ReadU8();
+    if (!present.ok()) return present.status();
+    if (*present != 0) {
+      const auto v = r.ReadF64();
+      if (!v.ok()) return v.status();
+      *field = *v;
+    }
+  }
+  const auto privacy = r.ReadU8();
+  if (!privacy.ok()) return privacy.status();
+  if (*privacy > static_cast<std::uint8_t>(PrivacyLevel::kPrivate)) {
+    return InvalidArgument("bad privacy level");
+  }
+  m.privacy = static_cast<PrivacyLevel>(*privacy);
+  const auto trust = r.ReadU8();
+  if (!trust.ok()) return trust.status();
+  if (*trust > static_cast<std::uint8_t>(TrustLevel::kTrusted)) {
+    return InvalidArgument("bad trust level");
+  }
+  m.trust = static_cast<TrustLevel>(*trust);
+  return m;
+}
+
+}  // namespace contory

@@ -1,0 +1,62 @@
+// Context metadata.
+//
+// "Types of metadata information include correctness (i.e., closeness to
+// the true state), precision, accuracy, completeness (if any or no part of
+// the described information remains unknown), and level of privacy and
+// trust" (Sec. 4.1). WHERE clauses filter on these by name, so the struct
+// exposes name-based numeric access alongside typed fields.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace contory {
+
+enum class TrustLevel : std::uint8_t { kUntrusted = 0, kUnknown, kTrusted };
+enum class PrivacyLevel : std::uint8_t { kPublic = 0, kProtected, kPrivate };
+
+[[nodiscard]] const char* TrustLevelName(TrustLevel t) noexcept;
+[[nodiscard]] const char* PrivacyLevelName(PrivacyLevel p) noexcept;
+
+struct Metadata {
+  /// Closeness to the true state, in [0,1].
+  std::optional<double> correctness;
+  /// Granularity of the reported value (e.g. 0.5 degC steps).
+  std::optional<double> precision;
+  /// Measurement error bound in value units (e.g. 0.2 degC).
+  std::optional<double> accuracy;
+  /// Fraction of the described information that is known, in [0,1].
+  std::optional<double> completeness;
+  PrivacyLevel privacy = PrivacyLevel::kPublic;
+  TrustLevel trust = TrustLevel::kUnknown;
+
+  /// Numeric view of a metadata field by query-language name
+  /// ("accuracy", "precision", "correctness", "completeness", "trust",
+  /// "privacy"). Unset optional fields are kNotFound; unknown names are
+  /// kInvalidArgument. Trust/privacy map to their enum ordinal.
+  [[nodiscard]] Result<double> GetNumeric(const std::string& field) const;
+
+  /// Sets a field by name from a numeric literal (parser support).
+  Status SetNumeric(const std::string& field, double value);
+
+  /// True when every field of `required` that is set is satisfied by this
+  /// metadata: accuracy/precision at least as good (<=), correctness/
+  /// completeness/trust at least as high (>=), privacy no more private.
+  [[nodiscard]] bool Satisfies(const Metadata& required) const;
+
+  /// "accuracy=0.2,trust=trusted" (only set fields).
+  [[nodiscard]] std::string ToString() const;
+
+  void Encode(ByteWriter& w) const;
+  [[nodiscard]] static Result<Metadata> Decode(ByteReader& r);
+
+  friend bool operator==(const Metadata&, const Metadata&) = default;
+};
+
+/// The canonical metadata field names, as usable in WHERE clauses.
+[[nodiscard]] bool IsMetadataField(const std::string& name) noexcept;
+
+}  // namespace contory

@@ -1,0 +1,117 @@
+// CxtProvider base (Sec. 4.3).
+//
+// "CxtProviders are responsible for accomplishing context provisioning.
+// ... Based on the EVENT and EVERY clauses specification, context
+// providers offer three modes of interaction: on-demand query,
+// event-based query, and periodic query."
+//
+// The base class owns the query-lifecycle machinery every concrete
+// provider shares: the DURATION timer (time- or sample-bounded), WHERE +
+// FRESHNESS filtering, the EVENT evaluation window, and delivery/
+// completion callbacks. Subclasses implement the transport: local
+// sensors, the remote infrastructure, or the ad hoc network.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/model/cxt_item.hpp"
+#include "core/query/query.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+class CxtProvider {
+ public:
+  struct Callbacks {
+    /// A result matching the (merged) query. The Facade post-extracts per
+    /// original query before clients see it.
+    std::function<void(const CxtItem&)> deliver;
+    /// Query over: Ok = duration/samples complete; error = the transport
+    /// failed and the factory should reconfigure (Fig. 5).
+    std::function<void(Status)> finished;
+  };
+
+  CxtProvider(sim::Simulation& sim, query::CxtQuery query,
+              Callbacks callbacks);
+  virtual ~CxtProvider();
+
+  CxtProvider(const CxtProvider&) = delete;
+  CxtProvider& operator=(const CxtProvider&) = delete;
+
+  /// Which provisioning mechanism this provider implements.
+  [[nodiscard]] virtual query::SourceSel kind() const noexcept = 0;
+  /// Human-readable transport detail ("BT one-hop", "WiFi SM", ...).
+  [[nodiscard]] virtual const char* transport() const noexcept = 0;
+
+  /// Begins provisioning: arms the DURATION timer then calls DoStart().
+  void Start();
+  /// Cancels provisioning silently (no finished callback).
+  void Stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// Applies a merged/updated query ("each CxtProvider is assigned only
+  /// to one (single or merged) query at time"). Re-arms the duration
+  /// timer and informs the subclass (rate changes etc.).
+  void UpdateQuery(query::CxtQuery query);
+
+  [[nodiscard]] const query::CxtQuery& query() const noexcept {
+    return query_;
+  }
+  [[nodiscard]] std::uint64_t items_delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t items_offered() const noexcept {
+    return offered_;
+  }
+
+ protected:
+  virtual void DoStart() = 0;
+  virtual void DoStop() = 0;
+  /// Rate or scope may have changed (called while running).
+  virtual void OnQueryUpdated() {}
+
+  /// Feeds one collected item through the full pipeline: WHERE +
+  /// FRESHNESS filtering, EVENT windowing, sample counting, delivery.
+  void Offer(CxtItem item);
+
+  /// Same but skips EVENT evaluation — for transports whose remote side
+  /// already evaluated the EVENT condition (infrastructure-registered
+  /// queries).
+  void OfferPreEvaluated(CxtItem item);
+
+  /// Subclass-reported unrecoverable transport failure: stops and calls
+  /// finished(status).
+  void Fail(Status status);
+
+  /// On-demand round complete: stops and calls finished(Ok).
+  void CompleteOk();
+
+  [[nodiscard]] sim::Simulation& sim() const noexcept { return sim_; }
+
+  /// Poll rate used when collecting samples for EVENT queries or
+  /// on-demand rounds where the query names no EVERY.
+  [[nodiscard]] SimDuration DefaultPollPeriod() const;
+
+ private:
+  [[nodiscard]] bool PassesFilters(const CxtItem& item) const;
+  void Deliver(const CxtItem& item);
+  void FinishOnce(Status status);
+
+  sim::Simulation& sim_;
+  query::CxtQuery query_;
+  Callbacks callbacks_;
+  bool running_ = false;
+  bool finished_ = false;
+  sim::TimerId duration_timer_ = sim::kInvalidTimer;
+  std::deque<CxtItem> event_window_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t offered_ = 0;
+
+  static constexpr std::size_t kEventWindowCap = 32;
+};
+
+}  // namespace contory::core

@@ -1,0 +1,135 @@
+#include "core/query/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace contory::query {
+namespace {
+
+constexpr std::array<const char*, 15> kKeywords = {
+    "SELECT", "FROM",  "WHERE", "FRESHNESS", "DURATION",
+    "EVERY",  "EVENT", "AND",   "OR",        "NOT",
+    "AVG",    "MIN",   "MAX",   "COUNT",     "SUM"};
+
+std::string ToUpper(std::string_view s) {
+  std::string out{s};
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+bool IsIdentStart(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      const std::string_view word = input.substr(i, j - i);
+      const std::string upper = ToUpper(word);
+      Token t;
+      t.offset = start;
+      bool is_keyword = false;
+      for (const char* kw : kKeywords) {
+        if (upper == kw) {
+          is_keyword = true;
+          break;
+        }
+      }
+      if (is_keyword) {
+        t.kind = TokenKind::kKeyword;
+        t.text = upper;
+      } else {
+        t.kind = TokenKind::kIdentifier;
+        t.text = std::string{word};
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0)) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) !=
+                           0 ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.offset = start;
+      t.text = std::string{input.substr(i, j - i)};
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && input[j] != '"') ++j;
+      if (j == n) {
+        return InvalidArgument("unterminated string literal at offset " +
+                               std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.offset = start;
+      t.text = std::string{input.substr(i + 1, j - i - 1)};
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string_view two = input.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        Token t;
+        t.kind = TokenKind::kSymbol;
+        t.offset = start;
+        t.text = two == "<>" ? "!=" : std::string{two};
+        tokens.push_back(std::move(t));
+        i += 2;
+        continue;
+      }
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '<' ||
+        c == '>' || c == '@') {
+      Token t;
+      t.kind = TokenKind::kSymbol;
+      t.offset = start;
+      t.text = std::string(1, c);
+      tokens.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    return InvalidArgument("unexpected character '" + std::string(1, c) +
+                           "' at offset " + std::to_string(start));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace contory::query

@@ -1,0 +1,44 @@
+// Tokenizer for the context query language.
+//
+// Keywords are recognized case-insensitively (the paper writes them
+// uppercase); identifiers, numbers (with optional time units handled by
+// the parser), quoted strings, and punctuation round out the grammar.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace contory::query {
+
+enum class TokenKind : std::uint8_t {
+  kKeyword,     // SELECT FROM WHERE FRESHNESS DURATION EVERY EVENT
+                // AND OR NOT AVG MIN MAX COUNT SUM ALL
+  kIdentifier,  // temperature, accuracy, adHocNetwork, sec, ...
+  kNumber,      // 30, 0.2, -5
+  kString,      // "friend-7"
+  kSymbol,      // ( ) , = != < > <= >= @
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // canonical text (keywords uppercased)
+  double number = 0.0; // when kind == kNumber
+  std::size_t offset = 0;  // position in the input, for error messages
+
+  [[nodiscard]] bool IsKeyword(std::string_view kw) const noexcept {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  [[nodiscard]] bool IsSymbol(std::string_view s) const noexcept {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes `input`; the last token is always kEnd. Fails on characters
+/// outside the language or unterminated strings.
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace contory::query

@@ -1,0 +1,178 @@
+#include "core/query/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/query/predicate.hpp"
+
+namespace contory::query {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Are the FROM clauses compatible for merging? Destinations (region/
+/// entity) must match exactly; source kinds must overlap structurally.
+bool FromCompatible(const FromClause& a, const FromClause& b) {
+  if (a.IsAuto() || b.IsAuto()) return a.IsAuto() == b.IsAuto();
+  if (a.sources.size() != b.sources.size()) return false;
+  for (std::size_t i = 0; i < a.sources.size(); ++i) {
+    const auto& sa = a.sources[i];
+    const auto& sb = b.sources[i];
+    if (sa.kind != sb.kind) return false;
+    if (sa.address != sb.address) return false;
+    if (sa.region != sb.region) return false;
+    if (sa.entity != sb.entity) return false;
+    // scopes may differ: that is exactly what merging widens.
+  }
+  return true;
+}
+
+double ScopeDelta(const FromClause& a, const FromClause& b) {
+  double delta = 0.0;
+  const std::size_t n = std::min(a.sources.size(), b.sources.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sa = a.sources[i].scope;
+    const auto& sb = b.sources[i].scope;
+    if (!sa.has_value() || !sb.has_value()) continue;
+    delta += std::abs(sa->num_hops - sb->num_hops);
+    const int na = sa->all_nodes() ? 1'000 : sa->num_nodes;
+    const int nb = sb->all_nodes() ? 1'000 : sb->num_nodes;
+    delta += std::abs(na - nb) / 100.0;
+  }
+  return delta;
+}
+
+double RatioDelta(std::optional<SimDuration> a, std::optional<SimDuration> b) {
+  if (!a.has_value() && !b.has_value()) return 0.0;
+  if (!a.has_value() || !b.has_value()) return 1.0;
+  const double x = static_cast<double>(a->count());
+  const double y = static_cast<double>(b->count());
+  if (x == 0.0 || y == 0.0) return 1.0;
+  return std::abs(x - y) / std::max(x, y);
+}
+
+}  // namespace
+
+double QueryDistance(const CxtQuery& a, const CxtQuery& b,
+                     const MergePolicy& policy) {
+  // Structural gates: beyond these, queries never merge.
+  if (a.select_type != b.select_type) return kInf;
+  if (a.event != b.event) return kInf;  // different EVENT conditions
+  // On-demand merges with on-demand, periodic with periodic; an
+  // event-based query only merges with an identical-EVENT one (above).
+  if (a.mode() != b.mode()) return kInf;
+  if (!FromCompatible(a.from, b.from)) return kInf;
+
+  return policy.w_freshness * RatioDelta(a.freshness, b.freshness) +
+         policy.w_every * RatioDelta(a.every, b.every) +
+         policy.w_scope * ScopeDelta(a.from, b.from);
+}
+
+bool Mergeable(const CxtQuery& a, const CxtQuery& b,
+               const MergePolicy& policy) {
+  return QueryDistance(a, b, policy) <= policy.threshold;
+}
+
+Result<CxtQuery> Merge(const CxtQuery& a, const CxtQuery& b,
+                       const MergePolicy& policy) {
+  if (!Mergeable(a, b, policy)) {
+    return FailedPrecondition("queries '" + a.id + "' and '" + b.id +
+                              "' are not in the same cluster");
+  }
+  CxtQuery m = a;
+  m.id = a.id + "+" + b.id;
+
+  // FROM: widest scope per source.
+  for (std::size_t i = 0; i < m.from.sources.size(); ++i) {
+    auto& scope = m.from.sources[i].scope;
+    const auto& other = b.from.sources[i].scope;
+    if (!scope.has_value() || !other.has_value()) continue;
+    AdHocScope widened;
+    widened.num_hops = std::max(scope->num_hops, other->num_hops);
+    widened.num_nodes = (scope->all_nodes() || other->all_nodes())
+                            ? AdHocScope::kAllNodes
+                            : std::max(scope->num_nodes, other->num_nodes);
+    scope = widened;
+  }
+
+  // WHERE: identical -> keep; else drop and rely on post-extraction.
+  if (a.where != b.where) m.where.reset();
+
+  // FRESHNESS: loosest requirement (max), per the paper's example
+  // (10 sec + 20 sec -> 20 sec).
+  if (a.freshness.has_value() && b.freshness.has_value()) {
+    m.freshness = std::max(*a.freshness, *b.freshness);
+  } else {
+    m.freshness.reset();  // one side is unconstrained
+  }
+
+  // DURATION: longest. Sample-count durations take the max count; a mix
+  // of time and samples keeps the time form with the max time.
+  if (a.duration.time.has_value() && b.duration.time.has_value()) {
+    m.duration.time = std::max(*a.duration.time, *b.duration.time);
+    m.duration.samples.reset();
+  } else if (a.duration.samples.has_value() &&
+             b.duration.samples.has_value()) {
+    m.duration.samples = std::max(*a.duration.samples, *b.duration.samples);
+    m.duration.time.reset();
+  } else {
+    // Mixed: be conservative, keep whichever time exists (a time-bounded
+    // superset also covers a sample-bounded query in practice because the
+    // provider keeps counting samples per original query).
+    m.duration.time =
+        a.duration.time.has_value() ? a.duration.time : b.duration.time;
+    m.duration.samples.reset();
+  }
+
+  // EVERY: fastest rate (min), per the example (15 sec + 30 sec -> 15 sec).
+  if (a.every.has_value() && b.every.has_value()) {
+    m.every = std::min(*a.every, *b.every);
+  }
+  // EVENT: identical by the gate; already in m (copied from a).
+  return m;
+}
+
+bool PostExtract(const CxtQuery& q, const CxtItem& item, SimTime now) {
+  if (item.type != q.select_type) return false;
+  if (item.IsExpired(now)) return false;
+  if (q.freshness.has_value() && !item.IsFresh(now, *q.freshness)) {
+    return false;
+  }
+  if (q.where.has_value()) {
+    const auto match = EvalWhere(*q.where, item);
+    if (!match.ok() || !*match) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::size_t>> ClusterQueries(
+    std::span<const CxtQuery> queries, const MergePolicy& policy) {
+  std::vector<std::vector<std::size_t>> clusters;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    bool placed = false;
+    for (auto& cluster : clusters) {
+      if (Mergeable(queries[cluster.front()], queries[i], policy)) {
+        cluster.push_back(i);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) clusters.push_back({i});
+  }
+  return clusters;
+}
+
+Result<CxtQuery> MergeAll(std::span<const CxtQuery> queries,
+                          const MergePolicy& policy) {
+  if (queries.empty()) return InvalidArgument("no queries to merge");
+  CxtQuery acc = queries.front();
+  for (std::size_t i = 1; i < queries.size(); ++i) {
+    auto merged = Merge(acc, queries[i], policy);
+    if (!merged.ok()) return merged.status();
+    acc = *std::move(merged);
+  }
+  return acc;
+}
+
+}  // namespace contory::query

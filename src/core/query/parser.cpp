@@ -1,0 +1,390 @@
+#include "core/query/parser.hpp"
+
+#include <cctype>
+
+#include "core/query/lexer.hpp"
+
+namespace contory::query {
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<CxtQuery> Query() {
+    CxtQuery q;
+    if (auto s = Expect(TokenKind::kKeyword, "SELECT"); !s.ok()) return s;
+    auto type = ExpectIdentifier("context type");
+    if (!type.ok()) return type.status();
+    q.select_type = *std::move(type);
+
+    if (Accept(TokenKind::kKeyword, "FROM")) {
+      auto from = From();
+      if (!from.ok()) return from.status();
+      q.from = *std::move(from);
+    }
+    if (Accept(TokenKind::kKeyword, "WHERE")) {
+      auto where = OrExpr();
+      if (!where.ok()) return where.status();
+      q.where = *std::move(where);
+    }
+    if (Accept(TokenKind::kKeyword, "FRESHNESS")) {
+      auto d = Timespan();
+      if (!d.ok()) return d.status();
+      q.freshness = *d;
+    }
+    if (auto s = Expect(TokenKind::kKeyword, "DURATION"); !s.ok()) return s;
+    {
+      // DURATION <time> or DURATION <n> samples.
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("DURATION expects a number");
+      }
+      const double n = Peek().number;
+      Advance();
+      if (Peek().kind == TokenKind::kIdentifier &&
+          (Lower(Peek().text) == "samples" ||
+           Lower(Peek().text) == "sample")) {
+        Advance();
+        q.duration.samples = static_cast<int>(n);
+      } else {
+        auto d = TimespanTail(n);
+        if (!d.ok()) return d.status();
+        q.duration.time = *d;
+      }
+    }
+    if (Accept(TokenKind::kKeyword, "EVERY")) {
+      auto d = Timespan();
+      if (!d.ok()) return d.status();
+      q.every = *d;
+    } else if (Accept(TokenKind::kKeyword, "EVENT")) {
+      auto p = OrExpr();
+      if (!p.ok()) return p.status();
+      q.event = *std::move(p);
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    if (auto s = q.Validate(); !s.ok()) return s;
+    return q;
+  }
+
+  Result<Predicate> StandalonePredicate() {
+    auto p = OrExpr();
+    if (!p.ok()) return p.status();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return p;
+  }
+
+ private:
+  [[nodiscard]] const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  [[nodiscard]] Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kEnd ? "end of input"
+                                                : "'" + t.text + "'";
+    return InvalidArgument(what + " (got " + got + " at offset " +
+                           std::to_string(t.offset) + ")");
+  }
+
+  bool Accept(TokenKind kind, std::string_view text) {
+    if (Peek().kind == kind && Peek().text == text) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] Status Expect(TokenKind kind, std::string_view text) {
+    if (!Accept(kind, text)) {
+      return Error("expected " + std::string{text});
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected " + what);
+    }
+    std::string out = Peek().text;
+    Advance();
+    return out;
+  }
+
+  // timespan := number [unit]
+  Result<SimDuration> Timespan() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a time value");
+    }
+    const double n = Peek().number;
+    Advance();
+    return TimespanTail(n);
+  }
+
+  Result<SimDuration> TimespanTail(double n) {
+    double scale_to_us = 1e6;  // default unit: seconds
+    // "min" lexes as the MIN aggregate keyword; accept keyword tokens as
+    // unit candidates too.
+    if (Peek().kind == TokenKind::kIdentifier ||
+        Peek().kind == TokenKind::kKeyword) {
+      const std::string unit = Lower(Peek().text);
+      bool known = true;
+      if (unit == "us" || unit == "usec") {
+        scale_to_us = 1.0;
+      } else if (unit == "ms" || unit == "msec" || unit == "millis") {
+        scale_to_us = 1e3;
+      } else if (unit == "s" || unit == "sec" || unit == "second" ||
+                 unit == "seconds") {
+        scale_to_us = 1e6;
+      } else if (unit == "min" || unit == "minute" || unit == "minutes") {
+        scale_to_us = 60e6;
+      } else if (unit == "h" || unit == "hour" || unit == "hours") {
+        scale_to_us = 3600e6;
+      } else {
+        known = false;
+      }
+      if (known) Advance();
+    }
+    return SimDuration{static_cast<std::int64_t>(n * scale_to_us)};
+  }
+
+  // source := kind args? dest*
+  Result<FromClause> From() {
+    FromClause from;
+    while (true) {
+      auto source = Source();
+      if (!source.ok()) return source.status();
+      from.sources.push_back(*std::move(source));
+      if (!Accept(TokenKind::kSymbol, ",")) break;
+    }
+    return from;
+  }
+
+  Result<SourceSpec> Source() {
+    auto name = ExpectIdentifier("context source");
+    if (!name.ok()) return name.status();
+    const std::string lower = Lower(*name);
+    SourceSpec spec;
+    if (lower == "intsensor") {
+      spec.kind = SourceSel::kIntSensor;
+    } else if (lower == "extinfra") {
+      spec.kind = SourceSel::kExtInfra;
+    } else if (lower == "adhocnetwork") {
+      spec.kind = SourceSel::kAdHocNetwork;
+      spec.scope = AdHocScope{};  // default: all nodes, 1 hop
+    } else {
+      return Error("unknown context source '" + *name + "'");
+    }
+
+    if (Accept(TokenKind::kSymbol, "(")) {
+      if (spec.kind == SourceSel::kAdHocNetwork) {
+        // (all|k [, hops])
+        AdHocScope scope;
+        if (Peek().kind == TokenKind::kIdentifier &&
+            Lower(Peek().text) == "all") {
+          Advance();
+          scope.num_nodes = AdHocScope::kAllNodes;
+        } else if (Peek().kind == TokenKind::kNumber) {
+          scope.num_nodes = static_cast<int>(Peek().number);
+          Advance();
+        } else {
+          return Error("adHocNetwork expects (all|k[, hops])");
+        }
+        if (Accept(TokenKind::kSymbol, ",")) {
+          if (Peek().kind != TokenKind::kNumber) {
+            return Error("adHocNetwork hop count must be a number");
+          }
+          scope.num_hops = static_cast<int>(Peek().number);
+          Advance();
+        }
+        spec.scope = scope;
+      } else {
+        // (address)
+        if (Peek().kind == TokenKind::kString ||
+            Peek().kind == TokenKind::kIdentifier) {
+          spec.address = Peek().text;
+          Advance();
+        } else {
+          return Error("source address must be a string or identifier");
+        }
+      }
+      if (auto s = Expect(TokenKind::kSymbol, ")"); !s.ok()) return s;
+    }
+
+    // Optional destination annotations: region(lat, lon, radius) and/or
+    // entity("id").
+    while (Peek().kind == TokenKind::kIdentifier) {
+      const std::string dest = Lower(Peek().text);
+      if (dest == "region") {
+        Advance();
+        if (auto s = Expect(TokenKind::kSymbol, "("); !s.ok()) return s;
+        double vals[3];
+        for (int i = 0; i < 3; ++i) {
+          if (Peek().kind != TokenKind::kNumber) {
+            return Error("region expects (lat, lon, radius_m)");
+          }
+          vals[i] = Peek().number;
+          Advance();
+          if (i < 2) {
+            if (auto s = Expect(TokenKind::kSymbol, ","); !s.ok()) return s;
+          }
+        }
+        if (auto s = Expect(TokenKind::kSymbol, ")"); !s.ok()) return s;
+        spec.region = RegionDest{GeoPoint{vals[0], vals[1]}, vals[2]};
+      } else if (dest == "entity") {
+        Advance();
+        if (auto s = Expect(TokenKind::kSymbol, "("); !s.ok()) return s;
+        if (Peek().kind != TokenKind::kString) {
+          return Error("entity expects a quoted identifier");
+        }
+        spec.entity = EntityDest{Peek().text};
+        Advance();
+        if (auto s = Expect(TokenKind::kSymbol, ")"); !s.ok()) return s;
+      } else {
+        break;
+      }
+    }
+    return spec;
+  }
+
+  // orExpr := andExpr (OR andExpr)*
+  Result<Predicate> OrExpr() {
+    auto lhs = AndExpr();
+    if (!lhs.ok()) return lhs;
+    std::vector<Predicate> terms;
+    terms.push_back(*std::move(lhs));
+    while (Accept(TokenKind::kKeyword, "OR")) {
+      auto rhs = AndExpr();
+      if (!rhs.ok()) return rhs;
+      terms.push_back(*std::move(rhs));
+    }
+    if (terms.size() == 1) return std::move(terms.front());
+    return Predicate::Or(std::move(terms));
+  }
+
+  Result<Predicate> AndExpr() {
+    auto lhs = Unary();
+    if (!lhs.ok()) return lhs;
+    std::vector<Predicate> terms;
+    terms.push_back(*std::move(lhs));
+    while (Accept(TokenKind::kKeyword, "AND")) {
+      auto rhs = Unary();
+      if (!rhs.ok()) return rhs;
+      terms.push_back(*std::move(rhs));
+    }
+    if (terms.size() == 1) return std::move(terms.front());
+    return Predicate::And(std::move(terms));
+  }
+
+  Result<Predicate> Unary() {
+    if (Accept(TokenKind::kKeyword, "NOT")) {
+      auto child = Unary();
+      if (!child.ok()) return child;
+      return Predicate::Not(*std::move(child));
+    }
+    if (Accept(TokenKind::kSymbol, "(")) {
+      auto inner = OrExpr();
+      if (!inner.ok()) return inner;
+      if (auto s = Expect(TokenKind::kSymbol, ")"); !s.ok()) return s;
+      return inner;
+    }
+    return ComparisonExpr();
+  }
+
+  Result<Predicate> ComparisonExpr() {
+    Comparison cmp;
+    // Aggregate?
+    if (Peek().kind == TokenKind::kKeyword) {
+      const std::string& kw = Peek().text;
+      AggregateFn fn = AggregateFn::kNone;
+      if (kw == "AVG") fn = AggregateFn::kAvg;
+      else if (kw == "MIN") fn = AggregateFn::kMin;
+      else if (kw == "MAX") fn = AggregateFn::kMax;
+      else if (kw == "COUNT") fn = AggregateFn::kCount;
+      else if (kw == "SUM") fn = AggregateFn::kSum;
+      if (fn != AggregateFn::kNone) {
+        Advance();
+        cmp.aggregate = fn;
+        if (auto s = Expect(TokenKind::kSymbol, "("); !s.ok()) return s;
+        auto field = ExpectIdentifier("aggregate argument");
+        if (!field.ok()) return field.status();
+        cmp.field = *std::move(field);
+        if (auto s = Expect(TokenKind::kSymbol, ")"); !s.ok()) return s;
+      }
+    }
+    if (cmp.aggregate == AggregateFn::kNone) {
+      auto field = ExpectIdentifier("predicate field");
+      if (!field.ok()) return field.status();
+      cmp.field = *std::move(field);
+    }
+
+    // Operator.
+    const Token& op_tok = Peek();
+    if (op_tok.kind != TokenKind::kSymbol) return Error("expected operator");
+    if (op_tok.text == "=") cmp.op = CompareOp::kEq;
+    else if (op_tok.text == "!=") cmp.op = CompareOp::kNe;
+    else if (op_tok.text == "<") cmp.op = CompareOp::kLt;
+    else if (op_tok.text == ">") cmp.op = CompareOp::kGt;
+    else if (op_tok.text == "<=") cmp.op = CompareOp::kLe;
+    else if (op_tok.text == ">=") cmp.op = CompareOp::kGe;
+    else return Error("unknown operator '" + op_tok.text + "'");
+    Advance();
+
+    // Literal.
+    const Token& lit = Peek();
+    if (lit.kind == TokenKind::kNumber) {
+      cmp.literal = lit.number;
+      Advance();
+    } else if (lit.kind == TokenKind::kString) {
+      cmp.literal = lit.text;
+      Advance();
+    } else if (lit.kind == TokenKind::kIdentifier) {
+      const std::string word = Lower(lit.text);
+      if (word == "true") {
+        cmp.literal = true;
+      } else if (word == "false") {
+        cmp.literal = false;
+      } else {
+        // Bare-word literal: "trusted", "walking", "low" — string value.
+        cmp.literal = lit.text;
+      }
+      Advance();
+    } else {
+      return Error("expected a literal value");
+    }
+    return Predicate::Leaf(std::move(cmp));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CxtQuery> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser{*std::move(tokens)};
+  return parser.Query();
+}
+
+Result<Predicate> ParsePredicate(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser{*std::move(tokens)};
+  return parser.StandalonePredicate();
+}
+
+}  // namespace contory::query

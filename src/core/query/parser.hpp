@@ -1,0 +1,20 @@
+// Recursive-descent parser for the context query language.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "core/query/query.hpp"
+
+namespace contory::query {
+
+/// Parses query text into a validated CxtQuery (without an id — ids are
+/// assigned at submission). Error messages carry the offending token and
+/// its offset.
+[[nodiscard]] Result<CxtQuery> ParseQuery(std::string_view text);
+
+/// Parses a standalone predicate expression (used by the rules engine and
+/// tests), e.g. "accuracy=0.2 AND trust>=1".
+[[nodiscard]] Result<Predicate> ParsePredicate(std::string_view text);
+
+}  // namespace contory::query

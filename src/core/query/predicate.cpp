@@ -1,0 +1,213 @@
+#include "core/query/predicate.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace contory::query {
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+/// Maps symbolic trust/privacy literals to their ordinal.
+Result<double> SymbolicLevel(const std::string& field,
+                             const std::string& word) {
+  const std::string w = Lower(word);
+  if (field == "trust") {
+    if (w == "untrusted") return 0.0;
+    if (w == "unknown") return 1.0;
+    if (w == "trusted") return 2.0;
+    return InvalidArgument("unknown trust level '" + word + "'");
+  }
+  if (w == "public") return 0.0;
+  if (w == "protected") return 1.0;
+  if (w == "private") return 2.0;
+  return InvalidArgument("unknown privacy level '" + word + "'");
+}
+
+Result<bool> ApplyOp(CompareOp op, const CxtValue& lhs,
+                     const CxtValue& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return !(lhs == rhs);
+    default:
+      break;
+  }
+  const auto cmp = lhs.Compare(rhs);
+  if (!cmp.ok()) return cmp.status();
+  switch (op) {
+    case CompareOp::kLt: return *cmp < 0;
+    case CompareOp::kGt: return *cmp > 0;
+    case CompareOp::kLe: return *cmp <= 0;
+    case CompareOp::kGe: return *cmp >= 0;
+    default: return Internal("unreachable compare op");
+  }
+}
+
+Result<bool> EvalComparison(const Comparison& cmp, const CxtItem& item) {
+  if (cmp.aggregate != AggregateFn::kNone) {
+    return InvalidArgument(
+        "aggregate '" + cmp.ToString() + "' is not allowed here");
+  }
+  // Value fields.
+  if (cmp.field == "value" || cmp.field == item.type) {
+    return ApplyOp(cmp.op, item.value, cmp.literal);
+  }
+  if (cmp.field == "type") {
+    return ApplyOp(cmp.op, CxtValue{item.type}, cmp.literal);
+  }
+  // Metadata fields.
+  if (IsMetadataField(cmp.field)) {
+    const auto lhs = item.metadata.GetNumeric(cmp.field);
+    if (!lhs.ok()) {
+      if (lhs.status().code() == StatusCode::kNotFound) {
+        return false;  // unset quality field: the item cannot qualify
+      }
+      return lhs.status();
+    }
+    CxtValue rhs = cmp.literal;
+    if ((cmp.field == "trust" || cmp.field == "privacy") &&
+        cmp.literal.is_string()) {
+      const auto level =
+          SymbolicLevel(cmp.field, cmp.literal.AsString().value());
+      if (!level.ok()) return level.status();
+      rhs = *level;
+    }
+    return ApplyOp(cmp.op, CxtValue{*lhs}, rhs);
+  }
+  // A field naming a *different* context type than the item's: the item
+  // simply does not match (a merged query's post-extraction relies on
+  // this rather than erroring).
+  return false;
+}
+
+}  // namespace
+
+Result<bool> EvalWhere(const Predicate& predicate, const CxtItem& item) {
+  switch (predicate.kind) {
+    case Predicate::Kind::kComparison:
+      return EvalComparison(predicate.comparison, item);
+    case Predicate::Kind::kNot: {
+      const auto inner = EvalWhere(predicate.children.front(), item);
+      if (!inner.ok()) return inner;
+      return !*inner;
+    }
+    case Predicate::Kind::kAnd: {
+      for (const auto& child : predicate.children) {
+        const auto v = EvalWhere(child, item);
+        if (!v.ok()) return v;
+        if (!*v) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kOr: {
+      for (const auto& child : predicate.children) {
+        const auto v = EvalWhere(child, item);
+        if (!v.ok()) return v;
+        if (*v) return true;
+      }
+      return false;
+    }
+  }
+  return Internal("unreachable predicate kind");
+}
+
+Result<double> EvalAggregate(AggregateFn fn, const std::string& type,
+                             std::span<const CxtItem> window) {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+  for (const auto& item : window) {
+    if (item.type != type) continue;
+    if (fn == AggregateFn::kCount) {
+      ++count;
+      continue;
+    }
+    const auto v = item.value.AsNumber();
+    if (!v.ok()) return v.status();
+    if (count == 0) {
+      min = max = *v;
+    } else {
+      min = std::min(min, *v);
+      max = std::max(max, *v);
+    }
+    sum += *v;
+    ++count;
+  }
+  switch (fn) {
+    case AggregateFn::kCount:
+      return static_cast<double>(count);
+    case AggregateFn::kSum:
+      return sum;
+    case AggregateFn::kAvg:
+      if (count == 0) return NotFound("no items of type '" + type + "'");
+      return sum / static_cast<double>(count);
+    case AggregateFn::kMin:
+      if (count == 0) return NotFound("no items of type '" + type + "'");
+      return min;
+    case AggregateFn::kMax:
+      if (count == 0) return NotFound("no items of type '" + type + "'");
+      return max;
+    case AggregateFn::kNone:
+      return InvalidArgument("kNone is not an aggregate");
+  }
+  return Internal("unreachable aggregate fn");
+}
+
+Result<bool> EvalEvent(const Predicate& predicate,
+                       std::span<const CxtItem> window) {
+  switch (predicate.kind) {
+    case Predicate::Kind::kComparison: {
+      const auto& cmp = predicate.comparison;
+      if (cmp.aggregate == AggregateFn::kNone) {
+        if (window.empty()) return false;
+        return EvalWhere(predicate, window.back());
+      }
+      const auto value = EvalAggregate(cmp.aggregate, cmp.field, window);
+      if (!value.ok()) {
+        if (value.status().code() == StatusCode::kNotFound) return false;
+        return value.status();
+      }
+      const auto rhs = cmp.literal.AsNumber();
+      if (!rhs.ok()) return rhs.status();
+      switch (cmp.op) {
+        case CompareOp::kEq: return *value == *rhs;
+        case CompareOp::kNe: return *value != *rhs;
+        case CompareOp::kLt: return *value < *rhs;
+        case CompareOp::kGt: return *value > *rhs;
+        case CompareOp::kLe: return *value <= *rhs;
+        case CompareOp::kGe: return *value >= *rhs;
+      }
+      return Internal("unreachable compare op");
+    }
+    case Predicate::Kind::kNot: {
+      const auto inner = EvalEvent(predicate.children.front(), window);
+      if (!inner.ok()) return inner;
+      return !*inner;
+    }
+    case Predicate::Kind::kAnd: {
+      for (const auto& child : predicate.children) {
+        const auto v = EvalEvent(child, window);
+        if (!v.ok()) return v;
+        if (!*v) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kOr: {
+      for (const auto& child : predicate.children) {
+        const auto v = EvalEvent(child, window);
+        if (!v.ok()) return v;
+        if (*v) return true;
+      }
+      return false;
+    }
+  }
+  return Internal("unreachable predicate kind");
+}
+
+}  // namespace contory::query

@@ -1,0 +1,43 @@
+// Predicate evaluation: WHERE over a single context item, EVENT over the
+// window of items a provider has collected.
+//
+// Field resolution rules:
+//  * "value", or the item's own type name, resolves to the item's value
+//    ("WHERE temperature>25" and "WHERE value>25" are equivalent for a
+//    temperature query);
+//  * "type" resolves to the item's type string;
+//  * metadata names (accuracy, precision, correctness, completeness,
+//    privacy, trust) resolve to the item's metadata — an *unset* metadata
+//    field makes the comparison false (the item cannot demonstrate the
+//    required quality), while an *unknown* field name is an error.
+//  * trust/privacy literals may be symbolic ("trusted", "public"); they
+//    are mapped to their ordinal before comparison.
+//
+// Aggregates (EVENT only) are computed over the items in the window whose
+// type matches the aggregate argument; an empty window never triggers.
+#pragma once
+
+#include <span>
+
+#include "common/status.hpp"
+#include "core/model/cxt_item.hpp"
+#include "core/query/ast.hpp"
+
+namespace contory::query {
+
+/// Evaluates a WHERE-style predicate (no aggregates) against one item.
+[[nodiscard]] Result<bool> EvalWhere(const Predicate& predicate,
+                                     const CxtItem& item);
+
+/// Evaluates an EVENT predicate against the collected window. Non-aggregate
+/// comparisons inside an EVENT clause are evaluated against the most recent
+/// item of the window.
+[[nodiscard]] Result<bool> EvalEvent(const Predicate& predicate,
+                                     std::span<const CxtItem> window);
+
+/// Computes one aggregate over the window (exposed for tests/tools).
+[[nodiscard]] Result<double> EvalAggregate(AggregateFn fn,
+                                           const std::string& type,
+                                           std::span<const CxtItem> window);
+
+}  // namespace contory::query

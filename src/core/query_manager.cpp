@@ -1,0 +1,55 @@
+#include "core/query_manager.hpp"
+
+#include <algorithm>
+
+namespace contory::core {
+
+Status QueryManager::Register(query::CxtQuery query, Client& client) {
+  if (query.id.empty()) {
+    return InvalidArgument("query must have an id before registration");
+  }
+  if (records_.contains(query.id)) {
+    return AlreadyExists("query '" + query.id + "' already active");
+  }
+  QueryRecord record;
+  record.query = std::move(query);
+  record.client = &client;
+  record.submitted = sim_.Now();
+  records_.emplace(record.query.id, std::move(record));
+  return Status::Ok();
+}
+
+QueryRecord* QueryManager::Find(const std::string& id) {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const QueryRecord* QueryManager::Find(const std::string& id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void QueryManager::Remove(const std::string& id) { records_.erase(id); }
+
+bool QueryManager::RecordDelivery(QueryRecord& record,
+                                  const std::string& item_id) {
+  if (record.seen_items.contains(item_id)) return false;
+  record.seen_items.insert(item_id);
+  record.seen_order.push_back(item_id);
+  while (record.seen_order.size() > kSeenCap) {
+    record.seen_items.erase(record.seen_order.front());
+    record.seen_order.erase(record.seen_order.begin());
+  }
+  ++record.items_delivered;
+  return true;
+}
+
+std::vector<std::string> QueryManager::ActiveIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(records_.size());
+  for (const auto& [id, record] : records_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace contory::core

@@ -1,0 +1,68 @@
+// QueryManager (Sec. 4.3).
+//
+// "The QueryManager is responsible for maintaining an updated list of all
+// active queries and for assigning queries to suitable Facade components."
+// The assignment decision itself lives in the ContextFactory (it owns the
+// policies and the availability view); the manager is the bookkeeping:
+// which queries are active, for which client, on which facades, and what
+// they have delivered.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/client.hpp"
+#include "core/query/query.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+struct QueryRecord {
+  query::CxtQuery query;
+  Client* client = nullptr;
+  /// Facade kinds currently provisioning this query.
+  std::set<query::SourceSel> assigned;
+  /// Mechanisms that failed for this query (excluded from re-selection).
+  std::set<query::SourceSel> failed;
+  /// The mechanism the factory preferred originally (switch-back target).
+  query::SourceSel preferred = query::SourceSel::kAuto;
+  SimTime submitted{};
+  std::uint64_t items_delivered = 0;
+  /// Ids of items already delivered (cross-facade dedup), bounded.
+  std::unordered_set<std::string> seen_items;
+  std::vector<std::string> seen_order;
+};
+
+class QueryManager {
+ public:
+  explicit QueryManager(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Registers a submitted query; assigns nothing yet.
+  Status Register(query::CxtQuery query, Client& client);
+
+  [[nodiscard]] QueryRecord* Find(const std::string& id);
+  [[nodiscard]] const QueryRecord* Find(const std::string& id) const;
+
+  void Remove(const std::string& id);
+
+  /// Records a delivery; returns false when `item_id` was already
+  /// delivered for this query (duplicate across facades).
+  bool RecordDelivery(QueryRecord& record, const std::string& item_id);
+
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] std::vector<std::string> ActiveIds() const;
+
+ private:
+  static constexpr std::size_t kSeenCap = 128;
+
+  sim::Simulation& sim_;
+  std::unordered_map<std::string, QueryRecord> records_;
+};
+
+}  // namespace contory::core

@@ -1,0 +1,80 @@
+// BTReference: mediated access to the Bluetooth module (Sec. 4.3, 5.1).
+//
+// "The BTReference provides support to discover BT devices and services,
+// and to communicate with them" — on top of the raw controller it adds
+// the abstractions the providers need: a discovery cache (inquiries cost
+// 13 s and 5 J; consumers share results), serialized concurrent inquiry
+// requests, and listener multiplexing (the controller has single handler
+// slots; the GPS provider and the ad hoc provider both need data and
+// disconnect events). Link drops are reported to the ResourcesMonitor,
+// which is what triggers the Fig. 5 failover.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/references/reference.hpp"
+#include "net/bluetooth.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+class BTReference final : public Reference {
+ public:
+  /// `controller` may be null: the device simply has no BT module.
+  BTReference(sim::Simulation& sim, net::BluetoothController* controller);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "BTReference";
+  }
+  [[nodiscard]] bool Available() const override {
+    return controller_ != nullptr && controller_->enabled();
+  }
+  [[nodiscard]] net::BluetoothController* controller() noexcept {
+    return controller_;
+  }
+
+  // --- Discovery with cache ---------------------------------------------
+  using DiscoverCallback =
+      std::function<void(Result<std::vector<net::BtDeviceInfo>>)>;
+  /// Reports devices in range. Served from cache when the last inquiry is
+  /// younger than `max_age`; otherwise runs an inquiry (13 s). Concurrent
+  /// calls share one inquiry.
+  void Discover(SimDuration max_age, DiscoverCallback done);
+  /// Drops the cache (e.g. after a failure, to force re-discovery).
+  void InvalidateDiscoveryCache() { cache_.reset(); }
+  [[nodiscard]] bool HasFreshDiscovery(SimDuration max_age) const;
+  [[nodiscard]] const std::vector<net::BtDeviceInfo>* CachedDevices() const {
+    return cache_.has_value() ? &cache_->devices : nullptr;
+  }
+
+  // --- Listener multiplexing ----------------------------------------------
+  using ListenerId = std::uint64_t;
+  using DataListener = std::function<void(
+      net::BtLinkId, net::NodeId from, const std::vector<std::byte>&)>;
+  using DisconnectListener =
+      std::function<void(net::BtLinkId, net::NodeId peer)>;
+
+  ListenerId AddDataListener(DataListener listener);
+  void RemoveDataListener(ListenerId id);
+  ListenerId AddDisconnectListener(DisconnectListener listener);
+  void RemoveDisconnectListener(ListenerId id);
+
+ private:
+  struct DiscoveryCache {
+    std::vector<net::BtDeviceInfo> devices;
+    SimTime at;
+  };
+
+  sim::Simulation& sim_;
+  net::BluetoothController* controller_;
+  std::optional<DiscoveryCache> cache_;
+  std::vector<DiscoverCallback> pending_discoveries_;
+  std::map<ListenerId, DataListener> data_listeners_;
+  std::map<ListenerId, DisconnectListener> disconnect_listeners_;
+  ListenerId next_listener_ = 1;
+};
+
+}  // namespace contory::core

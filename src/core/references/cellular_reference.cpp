@@ -1,0 +1,46 @@
+#include "core/references/cellular_reference.hpp"
+
+namespace contory::core {
+
+CellularReference::CellularReference(net::CellularModem* modem)
+    : modem_(modem) {
+  if (modem_ == nullptr) return;
+  modem_->SetPushHandler([this](const std::vector<std::byte>& frame) {
+    const auto event = infra::UnwrapEvent(frame);
+    if (!event.ok()) {
+      NotifyFailure("malformed event notification: " +
+                    event.status().ToString());
+      return;
+    }
+    const auto it = topic_handlers_.find(event->topic);
+    if (it != topic_handlers_.end()) it->second(*event);
+  });
+}
+
+void CellularReference::SendRequest(
+    const std::string& address, std::vector<std::byte> request,
+    std::function<void(Result<std::vector<std::byte>>)> done) {
+  if (modem_ == nullptr) {
+    if (done) done(Unavailable("device has no cellular module"));
+    return;
+  }
+  modem_->SendRequest(
+      address, std::move(request),
+      [this, done = std::move(done)](Result<std::vector<std::byte>> r) {
+        if (!r.ok() && r.status().code() != StatusCode::kNotFound) {
+          NotifyFailure("cellular request failed: " + r.status().ToString());
+        }
+        if (done) done(std::move(r));
+      });
+}
+
+void CellularReference::SetTopicHandler(const std::string& topic,
+                                        TopicHandler handler) {
+  topic_handlers_[topic] = std::move(handler);
+}
+
+void CellularReference::RemoveTopicHandler(const std::string& topic) {
+  topic_handlers_.erase(topic);
+}
+
+}  // namespace contory::core

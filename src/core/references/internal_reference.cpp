@@ -1,0 +1,38 @@
+#include "core/references/internal_reference.hpp"
+
+namespace contory::core {
+
+void InternalReference::RegisterSource(
+    std::unique_ptr<sensors::CxtSource> source) {
+  if (source == nullptr) {
+    throw std::invalid_argument("InternalReference: null source");
+  }
+  sources_.push_back(std::move(source));
+}
+
+std::vector<sensors::CxtSource*> InternalReference::SourcesOfType(
+    const std::string& type) const {
+  std::vector<sensors::CxtSource*> out;
+  for (const auto& source : sources_) {
+    if (source->type() == type) out.push_back(source.get());
+  }
+  return out;
+}
+
+Result<CxtItem> InternalReference::Sample(const std::string& type) {
+  const auto sources = SourcesOfType(type);
+  if (sources.empty()) {
+    return NotFound("no internal sensor for '" + type + "'");
+  }
+  Status last = Unavailable("no source sampled");
+  for (sensors::CxtSource* source : sources) {
+    auto item = source->Sample();
+    if (item.ok()) return item;
+    last = item.status();
+  }
+  NotifyFailure("all internal sensors for '" + type + "' failed: " +
+                last.ToString());
+  return last;
+}
+
+}  // namespace contory::core

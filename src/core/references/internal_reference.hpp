@@ -1,0 +1,46 @@
+// InternalReference: access to sensors integrated in the device.
+//
+// The paper's prototype left this module unimplemented ("no sensors
+// integrated in the phone platform used for the development were
+// available at deployment time"); our simulated device does have internal
+// sensors (environment samplers, battery/memory monitors), so we provide
+// the full module — exactly the kind of extension the architecture was
+// designed to accommodate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/references/reference.hpp"
+#include "sensors/sensor.hpp"
+
+namespace contory::core {
+
+class InternalReference final : public Reference {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "InternalReference";
+  }
+  [[nodiscard]] bool Available() const override { return !sources_.empty(); }
+
+  /// Registers an integrated sensor (takes ownership).
+  void RegisterSource(std::unique_ptr<sensors::CxtSource> source);
+
+  /// All registered sources producing `type` (empty when none).
+  [[nodiscard]] std::vector<sensors::CxtSource*> SourcesOfType(
+      const std::string& type) const;
+
+  [[nodiscard]] bool HasSourceOfType(const std::string& type) const {
+    return !SourcesOfType(type).empty();
+  }
+
+  /// Samples the first working source of `type`; reports a failure to the
+  /// ResourcesMonitor when every source of that type errors.
+  [[nodiscard]] Result<CxtItem> Sample(const std::string& type);
+
+ private:
+  std::vector<std::unique_ptr<sensors::CxtSource>> sources_;
+};
+
+}  // namespace contory::core

@@ -1,0 +1,42 @@
+// Reference modules (Sec. 4.3).
+//
+// "To provide discovery of CxtSources as well as to support communication
+// with them, different types of Reference modules can be available on the
+// device. Typically, a Reference mediates the access to a certain
+// communication module by offering useful programming abstractions. ...
+// Each time network, sensors, or device failures affect the functioning
+// of a communication module, the corresponding Reference notifies the
+// ResourcesMonitor module."
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace contory::core {
+
+class Reference {
+ public:
+  virtual ~Reference() = default;
+
+  /// "InternalReference", "BTReference", "WiFiReference", "2G/3GReference".
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Can the underlying module be used right now?
+  [[nodiscard]] virtual bool Available() const = 0;
+
+  /// Hooked by the ResourcesMonitor; fired on module failures.
+  using FailureHandler = std::function<void(const std::string& reason)>;
+  void SetFailureHandler(FailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+
+ protected:
+  void NotifyFailure(const std::string& reason) {
+    if (failure_handler_) failure_handler_(reason);
+  }
+
+ private:
+  FailureHandler failure_handler_;
+};
+
+}  // namespace contory::core

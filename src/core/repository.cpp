@@ -1,0 +1,68 @@
+#include "core/repository.hpp"
+
+namespace contory::core {
+
+CxtRepository::CxtRepository(sim::Simulation& sim, CxtRepositoryConfig config)
+    : sim_(sim), config_(config) {}
+
+void CxtRepository::Store(CxtItem item) {
+  auto& ring = rings_[item.type];
+  ring.push_back(std::move(item));
+  ++count_;
+  while (ring.size() > config_.max_items_per_type) {
+    ring.pop_front();
+    --count_;
+  }
+}
+
+Result<CxtItem> CxtRepository::Latest(const std::string& type) const {
+  const auto it = rings_.find(type);
+  if (it == rings_.end()) {
+    return NotFound("no stored items of type '" + type + "'");
+  }
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (!rit->IsExpired(sim_.Now())) return *rit;
+  }
+  return NotFound("all stored items of type '" + type + "' expired");
+}
+
+std::vector<CxtItem> CxtRepository::Recent(const std::string& type,
+                                           std::size_t max_n) const {
+  std::vector<CxtItem> out;
+  const auto it = rings_.find(type);
+  if (it == rings_.end()) return out;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->IsExpired(sim_.Now())) continue;
+    out.push_back(*rit);
+    if (max_n != 0 && out.size() >= max_n) break;
+  }
+  return out;
+}
+
+std::size_t CxtRepository::PurgeExpired() {
+  std::size_t removed = 0;
+  for (auto& [type, ring] : rings_) {
+    for (auto it = ring.begin(); it != ring.end();) {
+      if (it->IsExpired(sim_.Now())) {
+        it = ring.erase(it);
+        ++removed;
+        --count_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+void CxtRepository::Shrink(std::size_t per_type) {
+  config_.max_items_per_type = per_type;
+  for (auto& [type, ring] : rings_) {
+    while (ring.size() > per_type) {
+      ring.pop_front();
+      --count_;
+    }
+  }
+}
+
+}  // namespace contory::core

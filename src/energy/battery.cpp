@@ -1,0 +1,49 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace contory::energy {
+
+Battery::Battery(sim::Simulation& sim, const EnergyModel& model,
+                 BatteryConfig config)
+    : sim_(sim), model_(model), config_(config) {}
+
+double Battery::TerminalVoltage() const noexcept {
+  const double load = model_.CurrentPowerMilliwatts();
+  const double frac =
+      std::min(load / config_.full_load_milliwatts, 1.0);
+  return config_.nominal_voltage *
+         (1.0 - config_.max_sag_fraction * frac);
+}
+
+double Battery::CurrentMilliamps() const noexcept {
+  const double v = TerminalVoltage();
+  if (v <= 0.0) return 0.0;
+  return model_.CurrentPowerMilliwatts() / v;
+}
+
+double Battery::PhoneSupplyVoltage() const noexcept {
+  double v = TerminalVoltage();
+  if (meter_inserted_) {
+    // Shunt drop: V = I * R, with I in A and R in ohms.
+    v -= (CurrentMilliamps() / 1e3) * config_.meter_shunt_ohms;
+  }
+  return v;
+}
+
+bool Battery::InrushTrips(double steady_milliwatts) const noexcept {
+  if (!meter_inserted_) return false;
+  const double v = TerminalVoltage();
+  if (v <= 0.0) return false;
+  const double inrush_ma =
+      (steady_milliwatts * config_.inrush_factor) / v;
+  const double supply =
+      v - (inrush_ma / 1e3) * config_.meter_shunt_ohms;
+  return supply < config_.cutoff_voltage;
+}
+
+void Battery::ReportTrip() {
+  if (trip_listener_) trip_listener_(sim_.Now());
+}
+
+}  // namespace contory::energy

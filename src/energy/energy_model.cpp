@@ -1,0 +1,55 @@
+#include "energy/energy_model.hpp"
+
+namespace contory::energy {
+
+void EnergyModel::Accrue() const {
+  const SimTime now = sim_.Now();
+  if (now > last_accrual_) {
+    const double watts = CurrentPowerMilliwatts() / 1e3;
+    accrued_joules_ += watts * ToSeconds(now - last_accrual_);
+    last_accrual_ = now;
+  }
+}
+
+void EnergyModel::SetComponentPower(const std::string& name,
+                                    double milliwatts) {
+  Accrue();
+  if (milliwatts == 0.0) {
+    components_.erase(name);
+  } else {
+    components_[name] = milliwatts;
+  }
+  if (listener_) listener_(sim_.Now(), CurrentPowerMilliwatts());
+}
+
+void EnergyModel::AddEnergyJoules(double joules) {
+  Accrue();
+  accrued_joules_ += joules;
+}
+
+double EnergyModel::CurrentPowerMilliwatts() const noexcept {
+  double total = 0.0;
+  for (const auto& [name, mw] : components_) total += mw;
+  return total;
+}
+
+double EnergyModel::ComponentPowerMilliwatts(
+    const std::string& name) const noexcept {
+  const auto it = components_.find(name);
+  return it == components_.end() ? 0.0 : it->second;
+}
+
+double EnergyModel::TotalEnergyJoules() const {
+  Accrue();
+  return accrued_joules_;
+}
+
+EnergyMarker EnergyModel::Mark() const {
+  return EnergyMarker{TotalEnergyJoules(), sim_.Now()};
+}
+
+double EnergyModel::JoulesSince(const EnergyMarker& marker) const {
+  return TotalEnergyJoules() - marker.joules_at_mark;
+}
+
+}  // namespace contory::energy

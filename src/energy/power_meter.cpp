@@ -1,0 +1,28 @@
+#include "energy/power_meter.hpp"
+
+namespace contory::energy {
+
+PowerMeter::PowerMeter(sim::Simulation& sim, const EnergyModel& model,
+                       PowerMeterConfig config)
+    : sim_(sim),
+      model_(model),
+      config_(config),
+      noise_(sim.rng().Fork()) {}
+
+void PowerMeter::Start() {
+  if (task_ != nullptr) return;
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.sample_period, [this] { TakeSample(); });
+}
+
+void PowerMeter::Stop() { task_.reset(); }
+
+void PowerMeter::TakeSample() {
+  double mw = model_.CurrentPowerMilliwatts();
+  if (config_.apply_noise) {
+    mw = noise_.Jitter(mw, config_.accuracy_fraction);
+  }
+  trace_.Add(sim_.Now(), mw);
+}
+
+}  // namespace contory::energy

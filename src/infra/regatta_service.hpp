@@ -1,0 +1,97 @@
+// Regatta classification service (the RegattaClassifier backend).
+//
+// "Virtual checkpoints can be arranged along the route that the boats will
+// take during the competition. Each time a boat reaches a checkpoint, the
+// RegattaClassifier running on the phone's participant communicates to the
+// infrastructure location and speed of the boat (collected using GPS
+// sensors). The infrastructure processes this information and provides
+// each participant with an updated classification and additional
+// statistics of the competition" (Sec. 6.2).
+//
+// Protocol: kReport (boat, position, speed) -> ack; kStandings -> current
+// classification; kSubscribe -> standings pushed after every change.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/model/cxt_value.hpp"
+#include "net/cellular.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::infra {
+
+enum class RegattaOp : std::uint8_t {
+  kReport = 1,
+  kStandings = 2,
+  kSubscribe = 3,
+};
+
+struct RegattaStanding {
+  std::string boat;
+  int checkpoints_passed = 0;
+  SimTime last_passage{};
+  double last_speed_knots = 0.0;
+  double avg_speed_knots = 0.0;
+
+  void Encode(ByteWriter& w) const;
+  [[nodiscard]] static Result<RegattaStanding> Decode(ByteReader& r);
+};
+
+/// Serialization of a full classification (used in responses and pushes).
+[[nodiscard]] std::vector<std::byte> EncodeStandings(
+    const std::vector<RegattaStanding>& standings);
+[[nodiscard]] Result<std::vector<RegattaStanding>> DecodeStandings(
+    ByteReader& r);
+
+class RegattaService {
+ public:
+  RegattaService(sim::Simulation& sim, net::CellularNetwork& network,
+                 std::string address, std::vector<GeoPoint> checkpoints,
+                 double checkpoint_radius_m = 150.0);
+  ~RegattaService();
+
+  RegattaService(const RegattaService&) = delete;
+  RegattaService& operator=(const RegattaService&) = delete;
+
+  [[nodiscard]] const std::string& address() const noexcept {
+    return address_;
+  }
+
+  /// Current classification: winner first ("the current winner of the
+  /// regatta"). Ordering: most checkpoints passed, then earliest passage.
+  [[nodiscard]] std::vector<RegattaStanding> Standings() const;
+
+  /// Server-side report entry point (also used by the request handler).
+  void Report(const std::string& boat, GeoPoint position,
+              double speed_knots);
+
+  [[nodiscard]] std::size_t checkpoint_count() const noexcept {
+    return checkpoints_.size();
+  }
+
+ private:
+  struct BoatState {
+    std::size_t next_checkpoint = 0;
+    SimTime last_passage{};
+    double last_speed = 0.0;
+    double speed_sum = 0.0;
+    std::uint64_t reports = 0;
+  };
+
+  void HandleRequest(net::NodeId from, const std::vector<std::byte>& request,
+                     net::CellularNetwork::Respond respond);
+  void PushStandings();
+
+  sim::Simulation& sim_;
+  net::CellularNetwork& network_;
+  std::string address_;
+  std::vector<GeoPoint> checkpoints_;
+  double radius_m_;
+  std::map<std::string, BoatState> boats_;
+  std::vector<net::NodeId> subscribers_;
+};
+
+}  // namespace contory::infra

@@ -1,0 +1,86 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace contory::net {
+
+double Distance(Position a, Position b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+NodeId Medium::Register(std::string name, Position pos) {
+  const NodeId id = next_id_++;
+  nodes_.emplace(id, NodeInfo{std::move(name), pos});
+  return id;
+}
+
+void Medium::Unregister(NodeId id) { nodes_.erase(id); }
+
+bool Medium::Exists(NodeId id) const noexcept { return nodes_.contains(id); }
+
+Result<Position> Medium::GetPosition(NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("node " + std::to_string(id) + " not registered");
+  }
+  return it->second.pos;
+}
+
+Result<std::string> Medium::GetName(NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("node " + std::to_string(id) + " not registered");
+  }
+  return it->second.name;
+}
+
+Status Medium::SetPosition(NodeId id, Position pos) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return NotFound("node " + std::to_string(id) + " not registered");
+  }
+  it->second.pos = pos;
+  return Status::Ok();
+}
+
+Result<double> Medium::DistanceBetween(NodeId a, NodeId b) const {
+  const auto pa = GetPosition(a);
+  if (!pa.ok()) return pa.status();
+  const auto pb = GetPosition(b);
+  if (!pb.ok()) return pb.status();
+  return Distance(*pa, *pb);
+}
+
+bool Medium::InRange(NodeId a, NodeId b, double range_m) const {
+  const auto d = DistanceBetween(a, b);
+  return d.ok() && *d <= range_m;
+}
+
+std::vector<NodeId> Medium::NodesWithin(
+    NodeId center, double range_m,
+    const std::function<bool(NodeId)>& filter) const {
+  const auto cpos = GetPosition(center);
+  if (!cpos.ok()) return {};
+  std::vector<std::pair<double, NodeId>> hits;
+  for (const auto& [id, info] : nodes_) {
+    if (id == center) continue;
+    const double d = Distance(*cpos, info.pos);
+    if (d <= range_m && (!filter || filter(id))) hits.emplace_back(d, id);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<NodeId> out;
+  out.reserve(hits.size());
+  for (const auto& [d, id] : hits) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> Medium::AllNodes() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, info] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace contory::net

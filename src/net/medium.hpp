@@ -1,0 +1,72 @@
+// Shared radio medium: node positions and range queries.
+//
+// Every radio-equipped entity (phone, BT-GPS receiver, communicator)
+// registers as a node with a 2-D position; radio models ask the medium
+// which peers are in range. Mobility (sailing boats) is expressed by
+// updating positions over simulated time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace contory::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+struct Position {
+  double x = 0.0;  // meters
+  double y = 0.0;  // meters
+};
+
+[[nodiscard]] double Distance(Position a, Position b) noexcept;
+
+class Medium {
+ public:
+  /// Registers a node; ids are dense and deterministic (1, 2, 3, ...).
+  NodeId Register(std::string name, Position pos);
+
+  /// Removes a node (e.g. a switched-off device). Range queries no longer
+  /// see it; its id is never reused.
+  void Unregister(NodeId id);
+
+  [[nodiscard]] bool Exists(NodeId id) const noexcept;
+  [[nodiscard]] Result<Position> GetPosition(NodeId id) const;
+  [[nodiscard]] Result<std::string> GetName(NodeId id) const;
+  Status SetPosition(NodeId id, Position pos);
+
+  /// Distance between two registered nodes (error if either is gone).
+  [[nodiscard]] Result<double> DistanceBetween(NodeId a, NodeId b) const;
+
+  /// True when both exist and are within `range_m` of each other.
+  [[nodiscard]] bool InRange(NodeId a, NodeId b, double range_m) const;
+
+  /// All other nodes within `range_m` of `center`, nearest first
+  /// (deterministic order). Optionally filtered by a predicate.
+  [[nodiscard]] std::vector<NodeId> NodesWithin(
+      NodeId center, double range_m,
+      const std::function<bool(NodeId)>& filter = {}) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// All currently registered node ids, ascending.
+  [[nodiscard]] std::vector<NodeId> AllNodes() const;
+
+ private:
+  struct NodeInfo {
+    std::string name;
+    Position pos;
+  };
+  std::unordered_map<NodeId, NodeInfo> nodes_;
+  NodeId next_id_ = 1;
+};
+
+}  // namespace contory::net

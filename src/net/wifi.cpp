@@ -1,0 +1,102 @@
+#include "net/wifi.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace contory::net {
+namespace {
+constexpr const char* kModule = "wifi";
+constexpr const char* kConnected = "wifi.connected";
+}  // namespace
+
+WifiController* WifiBus::Find(NodeId id) const noexcept {
+  const auto it = controllers_.find(id);
+  return it == controllers_.end() ? nullptr : it->second;
+}
+
+WifiController::WifiController(sim::Simulation& sim, WifiBus& bus,
+                               phone::SmartPhone& phone, NodeId node,
+                               WifiConfig config)
+    : sim_(sim), bus_(bus), phone_(phone), node_(node), config_(config) {
+  bus_.Attach(node_, this);
+}
+
+WifiController::~WifiController() { bus_.Detach(node_); }
+
+void WifiController::SetEnabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  const double drain = phone_.profile().wifi_connected_power_mw;
+  if (enabled) {
+    if (phone_.battery().InrushTrips(drain)) {
+      CLOG_WARN(kModule,
+                "node %u: WiFi in-rush tripped the protection circuit "
+                "(meter in series)",
+                node_);
+      phone_.battery().ReportTrip();
+    }
+    phone_.energy().SetComponentPower(kConnected, drain);
+  } else {
+    phone_.energy().SetComponentPower(kConnected, 0.0);
+  }
+}
+
+void WifiController::SetFailed(bool failed) {
+  failed_ = failed;
+  if (failed) phone_.energy().SetComponentPower(kConnected, 0.0);
+}
+
+std::vector<NodeId> WifiController::Neighbors() const {
+  if (!enabled()) return {};
+  return bus_.medium().NodesWithin(node_, config_.range_m, [this](NodeId n) {
+    const WifiController* peer = bus_.Find(n);
+    return peer != nullptr && peer->enabled();
+  });
+}
+
+bool WifiController::IsNeighbor(NodeId other) const {
+  if (!enabled()) return false;
+  const WifiController* peer = bus_.Find(other);
+  return peer != nullptr && peer->enabled() &&
+         bus_.medium().InRange(node_, other, config_.range_m);
+}
+
+SimDuration WifiController::TransferTime(std::size_t payload_bytes) const {
+  const double bits = static_cast<double>(payload_bytes) * 8.0;
+  return FromSeconds(bits / phone_.profile().wifi_throughput_bps);
+}
+
+void WifiController::SendFrame(NodeId to, std::vector<std::byte> payload,
+                               std::function<void(Status)> done) {
+  if (!enabled()) {
+    if (done) done(Unavailable("wifi radio is off"));
+    return;
+  }
+  if (!IsNeighbor(to)) {
+    if (done) done(Unavailable("node " + std::to_string(to) +
+                               " is not a wifi neighbor"));
+    return;
+  }
+  // Office-environment noise: a few percent jitter on the air time.
+  const SimDuration latency = SimDuration{static_cast<std::int64_t>(
+      phone_.rng().Jitter(
+          static_cast<double>((phone_.profile().wifi_connect_latency +
+                               TransferTime(payload.size()))
+                                  .count()),
+          0.04))};
+  sim_.ScheduleAfter(
+      latency,
+      [this, to, payload = std::move(payload), done = std::move(done)] {
+        WifiController* peer = bus_.Find(to);
+        if (peer == nullptr || !peer->enabled() || !IsNeighbor(to)) {
+          if (done) done(Unavailable("peer lost during transfer"));
+          return;
+        }
+        if (peer->frame_handler_) peer->frame_handler_(node_, payload);
+        if (done) done(Status::Ok());
+      },
+      "wifi.frame");
+}
+
+}  // namespace contory::net

@@ -1,0 +1,40 @@
+#include "phone/phone_profiles.hpp"
+
+namespace contory::phone {
+
+PhoneProfile Nokia6630() {
+  PhoneProfile p;
+  p.model = "Nokia 6630";
+  p.cpu_mhz = 220;
+  p.ram_mb = 9;
+  p.has_wifi = false;
+  p.has_cellular_3g = true;
+  return p;
+}
+
+PhoneProfile Nokia7610() {
+  PhoneProfile p;
+  p.model = "Nokia 7610";
+  p.cpu_mhz = 123;
+  p.ram_mb = 9;
+  p.has_wifi = false;
+  p.has_cellular_3g = false;  // GPRS only
+  // Slower CPU: serialization and local work cost proportionally more.
+  p.serialize_us_per_byte = 100.0 * 220.0 / 123.0;
+  p.cpu_active_power_mw = 45.0;
+  return p;
+}
+
+PhoneProfile Nokia9500() {
+  PhoneProfile p;
+  p.model = "Nokia 9500";
+  p.cpu_mhz = 150;
+  p.ram_mb = 64;
+  p.has_wifi = true;
+  p.has_cellular_3g = false;  // EDGE
+  p.serialize_us_per_byte = 100.0 * 220.0 / 150.0;
+  p.cpu_active_power_mw = 50.0;
+  return p;
+}
+
+}  // namespace contory::phone

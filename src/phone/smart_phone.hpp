@@ -1,0 +1,101 @@
+// Smart-phone device model.
+//
+// Owns the energy ledger and battery for one testbed phone, exposes the
+// user-visible power states the paper toggles between experiments (display,
+// backlight, GSM radio), and provides the CPU-cost accounting used by every
+// higher layer (serialization bursts, local query processing). The radio
+// protocol machines themselves live in net/ and register their own power
+// components against this phone's EnergyModel.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "energy/battery.hpp"
+#include "energy/energy_model.hpp"
+#include "phone/phone_profiles.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::phone {
+
+/// Energy-ledger component names used by the phone itself.
+namespace component {
+inline constexpr const char* kBase = "base";
+inline constexpr const char* kDisplay = "display";
+inline constexpr const char* kBacklight = "backlight";
+inline constexpr const char* kContoryRuntime = "contory";
+inline constexpr const char* kCpu = "cpu";
+inline constexpr const char* kCellPaging = "cell.paging";
+}  // namespace component
+
+class SmartPhone {
+ public:
+  /// `name` identifies the phone in logs and traces ("phone-A").
+  SmartPhone(sim::Simulation& sim, PhoneProfile profile, std::string name);
+  ~SmartPhone();
+
+  SmartPhone(const SmartPhone&) = delete;
+  SmartPhone& operator=(const SmartPhone&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const PhoneProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] energy::EnergyModel& energy() noexcept { return energy_; }
+  [[nodiscard]] const energy::EnergyModel& energy() const noexcept {
+    return energy_;
+  }
+  [[nodiscard]] energy::Battery& battery() noexcept { return battery_; }
+
+  // --- User-visible power states (the paper's experiment knobs) ---------
+  void SetDisplayOn(bool on);
+  void SetBacklightOn(bool on);  // implies display on when turned on
+  /// Toggles the GSM radio. When on, idle paging bursts (450-481 mW every
+  /// 50-60 s) are scheduled, reproducing the Fig. 4 background peaks.
+  void SetGsmRadioOn(bool on);
+  /// Accounts the Contory middleware's own runtime draw (+1.64 mW).
+  void SetContoryRunning(bool running);
+
+  /// Suppresses idle paging bursts while a dedicated channel is active
+  /// (the modem pages over DCH; no separate idle-paging wakeups).
+  void SetPagingSuppressed(bool suppressed) noexcept {
+    paging_suppressed_ = suppressed;
+  }
+
+  [[nodiscard]] bool display_on() const noexcept { return display_on_; }
+  [[nodiscard]] bool backlight_on() const noexcept { return backlight_on_; }
+  [[nodiscard]] bool gsm_radio_on() const noexcept { return gsm_on_; }
+
+  // --- CPU accounting ----------------------------------------------------
+  /// Accounts a CPU burst of `busy` at the profile's active power. The
+  /// caller is responsible for any completion scheduling; this only adds
+  /// the energy (bursts are far shorter than the 500 ms meter period).
+  void ChargeCpu(SimDuration busy);
+
+  /// Serialization cost of `bytes` on this phone's VM, per the profile.
+  [[nodiscard]] SimDuration SerializationTime(std::size_t bytes) const;
+
+  /// Deterministic per-phone RNG stream (latency jitter etc.).
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  void SchedulePagingBurst();
+
+  sim::Simulation& sim_;
+  PhoneProfile profile_;
+  std::string name_;
+  energy::EnergyModel energy_;
+  energy::Battery battery_;
+  Rng rng_;
+  bool display_on_ = false;
+  bool backlight_on_ = false;
+  bool gsm_on_ = false;
+  bool paging_suppressed_ = false;
+  sim::TimerId paging_timer_ = sim::kInvalidTimer;
+  sim::TimerId paging_off_timer_ = sim::kInvalidTimer;
+};
+
+}  // namespace contory::phone

@@ -1,0 +1,96 @@
+#include "sensors/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/model/vocabulary.hpp"
+
+namespace contory::sensors {
+
+EnvironmentField::EnvironmentField(sim::Simulation& sim)
+    : sim_(sim), noise_(sim.rng().Fork()) {
+  using std::chrono::hours;
+  fields_[vocab::kTemperature] =
+      {18.0, 0.4, -0.2, 4.0, hours{24}, 0.2, -40.0, 60.0};
+  fields_[vocab::kWind] = {6.0, 0.3, 0.1, 3.0, hours{6}, 0.5, 0.0, 60.0};
+  fields_[vocab::kHumidity] =
+      {65.0, -0.5, 0.2, 10.0, hours{24}, 1.0, 0.0, 100.0};
+  fields_[vocab::kPressure] =
+      {1013.0, 0.05, 0.05, 6.0, hours{48}, 0.3, 900.0, 1100.0};
+  fields_[vocab::kLight] =
+      {20'000.0, 0.0, 0.0, 19'500.0, hours{24}, 500.0, 0.0, 120'000.0};
+  fields_[vocab::kNoise] = {45.0, 1.0, 1.0, 10.0, hours{24}, 2.0, 0.0, 130.0};
+}
+
+void EnvironmentField::Configure(const std::string& type,
+                                 FieldConfig config) {
+  fields_[type] = config;
+}
+
+bool EnvironmentField::Has(const std::string& type) const {
+  return fields_.contains(type);
+}
+
+Result<double> EnvironmentField::TrueValue(const std::string& type,
+                                           net::Position p,
+                                           SimTime t) const {
+  const auto it = fields_.find(type);
+  if (it == fields_.end()) {
+    return NotFound("no environmental field for '" + type + "'");
+  }
+  const FieldConfig& f = it->second;
+  const double phase = f.drift_period.count() > 0
+                           ? 2.0 * std::numbers::pi *
+                                 static_cast<double>(
+                                     t.time_since_epoch().count()) /
+                                 static_cast<double>(f.drift_period.count())
+                           : 0.0;
+  const double v = f.base + f.gradient_x * p.x / 1e3 +
+                   f.gradient_y * p.y / 1e3 +
+                   f.drift_amplitude * std::sin(phase);
+  return std::clamp(v, f.min, f.max);
+}
+
+Result<double> EnvironmentField::Sample(const std::string& type,
+                                        net::Position p) {
+  const auto truth = TrueValue(type, p, sim_.Now());
+  if (!truth.ok()) return truth;
+  const auto it = fields_.find(type);
+  const double noisy = noise_.Normal(*truth, it->second.noise_sigma);
+  return std::clamp(noisy, it->second.min, it->second.max);
+}
+
+EnvironmentSensor::EnvironmentSensor(sim::Simulation& sim,
+                                     EnvironmentField& field,
+                                     net::Medium& medium, net::NodeId node,
+                                     std::string type, std::string address)
+    : sim_(sim),
+      field_(field),
+      medium_(medium),
+      node_(node),
+      type_(std::move(type)),
+      address_(std::move(address)) {
+  // A sensor's error bound defaults to ~2 sigma of its noise.
+  if (field_.Has(type_)) {
+    metadata_.accuracy = 0.2;
+  }
+}
+
+Result<CxtItem> EnvironmentSensor::Sample() {
+  if (failed_) return Unavailable("sensor '" + address_ + "' failed");
+  const auto pos = medium_.GetPosition(node_);
+  if (!pos.ok()) return pos.status();
+  const auto value = field_.Sample(type_, *pos);
+  if (!value.ok()) return value.status();
+  CxtItem item;
+  item.id = sim_.ids().NextId("item");
+  item.type = type_;
+  item.value = *value;
+  item.timestamp = sim_.Now();
+  item.source = {SourceKind::kIntSensor, address_};
+  item.metadata = metadata_;
+  return item;
+}
+
+}  // namespace contory::sensors

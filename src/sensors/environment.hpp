@@ -1,0 +1,91 @@
+// Synthetic environmental fields.
+//
+// The paper's field trials sensed real weather (temperature, wind,
+// humidity, pressure) around sailing boats; we substitute smooth synthetic
+// fields over space and time plus seeded sensor noise, so that (a) nearby
+// nodes report correlated values — which is what makes sharing context in
+// an ad hoc network meaningful — and (b) every value is reproducible.
+//
+// Each field is: base + spatial gradient + diurnal-ish sinusoidal drift +
+// per-sample Gaussian sensor noise.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "core/model/cxt_item.hpp"
+#include "net/medium.hpp"
+#include "sensors/sensor.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::sensors {
+
+struct FieldConfig {
+  double base = 0.0;            // value at the anchor at t=0
+  double gradient_x = 0.0;      // per km east
+  double gradient_y = 0.0;      // per km north
+  double drift_amplitude = 0.0; // sinusoidal swing over drift_period
+  SimDuration drift_period = std::chrono::hours{24};
+  double noise_sigma = 0.0;     // per-sample sensor noise
+  double min = -1e300;          // physical clamps
+  double max = 1e300;
+};
+
+class EnvironmentField {
+ public:
+  /// Builds the default field set (temperature, wind, humidity, pressure,
+  /// light, noise) with plausible Baltic-summer values.
+  explicit EnvironmentField(sim::Simulation& sim);
+
+  /// Overrides a field's configuration (tests, scenario design).
+  void Configure(const std::string& type, FieldConfig config);
+  [[nodiscard]] bool Has(const std::string& type) const;
+
+  /// The noiseless field value at a position and time.
+  [[nodiscard]] Result<double> TrueValue(const std::string& type,
+                                         net::Position p, SimTime t) const;
+
+  /// One noisy sensor sample at a position, now.
+  [[nodiscard]] Result<double> Sample(const std::string& type,
+                                      net::Position p);
+
+ private:
+  sim::Simulation& sim_;
+  mutable Rng noise_;
+  std::unordered_map<std::string, FieldConfig> fields_;
+};
+
+/// A CxtSource reading one field at a (possibly moving) node's position.
+class EnvironmentSensor final : public CxtSource {
+ public:
+  EnvironmentSensor(sim::Simulation& sim, EnvironmentField& field,
+                    net::Medium& medium, net::NodeId node, std::string type,
+                    std::string address);
+
+  [[nodiscard]] const std::string& type() const override { return type_; }
+  [[nodiscard]] const std::string& address() const override {
+    return address_;
+  }
+  [[nodiscard]] Result<CxtItem> Sample() override;
+
+  /// Failure injection.
+  void SetFailed(bool failed) noexcept { failed_ = failed; }
+
+  /// Metadata stamped on produced items (accuracy defaults to the field's
+  /// noise sigma).
+  [[nodiscard]] Metadata& metadata() noexcept { return metadata_; }
+
+ private:
+  sim::Simulation& sim_;
+  EnvironmentField& field_;
+  net::Medium& medium_;
+  net::NodeId node_;
+  std::string type_;
+  std::string address_;
+  Metadata metadata_;
+  bool failed_ = false;
+};
+
+}  // namespace contory::sensors

@@ -1,0 +1,26 @@
+#include "sensors/sensor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace contory::sensors {
+namespace {
+constexpr double kEarthRadius = 6'371'000.0;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+GeoPoint ToGeo(net::Position p) noexcept {
+  const double dlat = p.y / kEarthRadius / kDegToRad;
+  const double dlon =
+      p.x / (kEarthRadius * std::cos(kMapAnchor.lat * kDegToRad)) / kDegToRad;
+  return GeoPoint{kMapAnchor.lat + dlat, kMapAnchor.lon + dlon};
+}
+
+net::Position FromGeo(const GeoPoint& g) noexcept {
+  const double y = (g.lat - kMapAnchor.lat) * kDegToRad * kEarthRadius;
+  const double x = (g.lon - kMapAnchor.lon) * kDegToRad * kEarthRadius *
+                   std::cos(kMapAnchor.lat * kDegToRad);
+  return net::Position{x, y};
+}
+
+}  // namespace contory::sensors

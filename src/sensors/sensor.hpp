@@ -1,0 +1,47 @@
+// Sensor framework: CxtSources and coordinate helpers.
+//
+// "Context data can be sensed from a large variety of CxtSources such as
+// external sensors (e.g., a GPS device), integrated monitors (e.g., a
+// power management framework), external servers (e.g., a weather
+// station)" (Sec. 4.3). A CxtSource produces context items of one type on
+// demand; concrete sources are the environment-field sensors, the BT-GPS
+// receiver, and the phone's integrated monitors.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "core/model/cxt_item.hpp"
+#include "net/medium.hpp"
+
+namespace contory::sensors {
+
+/// The simulation's local tangent plane is anchored at the Helsinki
+/// sailing area the DYNAMOS field trials used; medium x/y meters map to
+/// lat/lon around this anchor.
+inline constexpr GeoPoint kMapAnchor{60.1500, 24.9000};
+
+/// Converts a simulation position (meters east/north of the anchor) to a
+/// geographic coordinate.
+[[nodiscard]] GeoPoint ToGeo(net::Position p) noexcept;
+/// Inverse of ToGeo.
+[[nodiscard]] net::Position FromGeo(const GeoPoint& g) noexcept;
+
+/// A source of context items of a single type.
+class CxtSource {
+ public:
+  virtual ~CxtSource() = default;
+
+  /// The context type this source produces (vocabulary name).
+  [[nodiscard]] virtual const std::string& type() const = 0;
+
+  /// Identifier used in produced items' SourceId.
+  [[nodiscard]] virtual const std::string& address() const = 0;
+
+  /// Samples the current value. kUnavailable when the sensor is down.
+  [[nodiscard]] virtual Result<CxtItem> Sample() = 0;
+};
+
+}  // namespace contory::sensors

@@ -1,0 +1,121 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace contory::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+TimerId Simulation::ScheduleAt(SimTime t, Callback cb, std::string label) {
+  if (!cb) throw std::invalid_argument("ScheduleAt: null callback");
+  if (t < now_) t = now_;  // the past is unreachable; fire "now"
+  const TimerId id = next_timer_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb), std::move(label)});
+  return id;
+}
+
+TimerId Simulation::ScheduleAfter(SimDuration delay, Callback cb,
+                                  std::string label) {
+  if (delay < SimDuration::zero()) delay = SimDuration::zero();
+  return ScheduleAt(now_ + delay, std::move(cb), std::move(label));
+}
+
+void Simulation::Cancel(TimerId id) {
+  if (id == kInvalidTimer || id >= next_timer_) return;
+  cancelled_.insert(id);
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, standard
+    // practice since pop() destroys the element anyway.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // tombstone
+    }
+    now_ = ev.at;
+    ++dispatched_;
+    CLOG_TRACE("sim", "dispatch #%llu %s",
+               static_cast<unsigned long long>(dispatched_),
+               ev.label.c_str());
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (Step()) {
+    if (++n >= max_events) {
+      throw std::runtime_error(
+          "Simulation::Run: event budget exhausted (runaway schedule?)");
+    }
+  }
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty()) {
+    const Event& head = queue_.top();
+    if (cancelled_.contains(head.id)) {
+      cancelled_.erase(head.id);
+      queue_.pop();
+      continue;
+    }
+    if (head.at > t) break;
+    Step();
+  }
+  if (t > now_) now_ = t;
+}
+
+void Simulation::RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+PeriodicTask::PeriodicTask(Simulation& sim, SimDuration period,
+                           std::function<void()> on_tick)
+    : PeriodicTask(sim, period, period, std::move(on_tick)) {}
+
+PeriodicTask::PeriodicTask(Simulation& sim, SimDuration initial_delay,
+                           SimDuration period, std::function<void()> on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  if (!on_tick_) throw std::invalid_argument("PeriodicTask: null callback");
+  if (period_ <= SimDuration::zero()) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+  Arm(initial_delay);
+}
+
+PeriodicTask::~PeriodicTask() {
+  *alive_ = false;
+  Stop();
+}
+
+void PeriodicTask::Stop() {
+  running_ = false;
+  if (pending_ != kInvalidTimer) {
+    sim_.Cancel(pending_);
+    pending_ = kInvalidTimer;
+  }
+}
+
+void PeriodicTask::Arm(SimDuration delay) {
+  pending_ = sim_.ScheduleAfter(delay, [this, alive = alive_] {
+    pending_ = kInvalidTimer;
+    if (!running_) return;
+    // Run a copy: if the tick destroys this task, the executing closure
+    // (and its captures) must outlive the destruction.
+    auto tick = on_tick_;
+    tick();
+    // The tick may have destroyed this task; only then is `this` dead.
+    if (!*alive) return;
+    // Re-arm after the tick so SetPeriod() from the callback takes effect
+    // immediately; a Stop() from the callback is honoured here.
+    if (running_) Arm(period_);
+  });
+}
+
+}  // namespace contory::sim

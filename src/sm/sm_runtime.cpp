@@ -1,0 +1,253 @@
+#include "sm/sm_runtime.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace contory::sm {
+namespace {
+constexpr const char* kModule = "sm";
+}
+
+SmRuntime* SmBus::Find(net::NodeId id) const noexcept {
+  const auto it = runtimes_.find(id);
+  return it == runtimes_.end() ? nullptr : it->second;
+}
+
+SmRuntime::SmRuntime(sim::Simulation& sim, SmBus& bus,
+                     net::WifiController& wifi, SmRuntimeConfig config)
+    : sim_(sim),
+      bus_(bus),
+      wifi_(wifi),
+      config_(std::move(config)),
+      tags_(sim) {
+  bus_.Attach(node(), this);
+  wifi_.SetFrameHandler(
+      [this](net::NodeId from, const std::vector<std::byte>& wire) {
+        Receive(from, wire);
+      });
+}
+
+SmRuntime::~SmRuntime() { bus_.Detach(node()); }
+
+void SmRuntime::SetParticipating(bool participating) {
+  if (participating) {
+    tags_.Upsert(config_.participation_tag, "1");
+  } else {
+    (void)tags_.Delete(config_.participation_tag);
+  }
+}
+
+bool SmRuntime::participating() const {
+  return tags_.Has(config_.participation_tag);
+}
+
+void SmRuntime::RegisterCodeBrick(const std::string& brick,
+                                  std::size_t code_bytes, Handler handler) {
+  if (!handler) throw std::invalid_argument("null code-brick handler");
+  bricks_[brick] = {code_bytes, std::move(handler)};
+}
+
+bool SmRuntime::HasCodeBrick(const std::string& brick) const {
+  return bricks_.contains(brick);
+}
+
+std::size_t SmRuntime::CodeBytes(const std::string& brick) const {
+  const auto it = bricks_.find(brick);
+  return it == bricks_.end() ? 0 : it->second.first;
+}
+
+bool SmRuntime::CodeCached(const std::string& brick) const {
+  return code_cache_index_.contains(brick);
+}
+
+void SmRuntime::TouchCodeCache(const std::string& brick) {
+  if (const auto it = code_cache_index_.find(brick);
+      it != code_cache_index_.end()) {
+    code_cache_lru_.splice(code_cache_lru_.begin(), code_cache_lru_,
+                           it->second);
+    return;
+  }
+  code_cache_lru_.push_front(brick);
+  code_cache_index_[brick] = code_cache_lru_.begin();
+  if (code_cache_lru_.size() > config_.code_cache_capacity) {
+    code_cache_index_.erase(code_cache_lru_.back());
+    code_cache_lru_.pop_back();
+  }
+}
+
+Status SmRuntime::Inject(SmartMessage sm) {
+  if (resident_ >= config_.max_resident) {
+    ++rejected_;
+    CLOG_DEBUG(kModule, "node %u admission manager rejected SM %s", node(),
+               sm.id.c_str());
+    return ResourceExhausted("admission manager: node busy");
+  }
+  ++admitted_;
+  ++resident_;
+  TouchCodeCache(sm.code_brick);
+  ScheduleExecution(std::move(sm), /*count_in_breakup=*/false);
+  return Status::Ok();
+}
+
+void SmRuntime::ScheduleExecution(SmartMessage sm, bool count_in_breakup) {
+  // Scheduler: the SM waits for a VM thread; the thread-switch overhead is
+  // 12-14% of per-hop time in the paper's break-up.
+  const SimDuration ts = wifi_.phone().profile().wifi_thread_switch;
+  if (count_in_breakup) sm.breakup.thread_switch += ts;
+  sim_.ScheduleAfter(ts, [this, sm = std::move(sm)]() mutable {
+    --resident_;
+    ++executed_;
+    const auto it = bricks_.find(sm.code_brick);
+    if (it == bricks_.end()) {
+      CLOG_WARN(kModule, "node %u has no code brick '%s'; SM %s dies",
+                node(), sm.code_brick.c_str(), sm.id.c_str());
+      return;
+    }
+    SmContext ctx{sim_, *this, node()};
+    it->second.second(ctx, std::move(sm));
+  }, "sm.execute");
+}
+
+void SmRuntime::Migrate(SmartMessage sm, net::NodeId next) {
+  SmRuntime* peer = bus_.Find(next);
+  if (peer == nullptr || !wifi_.IsNeighbor(next)) {
+    CLOG_DEBUG(kModule, "node %u cannot migrate SM %s to %u; SM dies",
+               node(), sm.id.c_str(), next);
+    return;
+  }
+  const std::size_t code_bytes = CodeBytes(sm.code_brick);
+  const bool cached = peer->CodeCached(sm.code_brick);
+
+  sm.hop_count += 1;
+  sm.visited.push_back(next);
+
+  // Serialization on the local VM (code travels unless cached remotely).
+  const std::size_t wire_size = sm.WireBytes(code_bytes, cached);
+  const SimDuration ser =
+      wifi_.phone().SerializationTime(wire_size);
+  wifi_.phone().ChargeCpu(ser);
+  sm.breakup.serialize += ser;
+  // The frame pays connect + transfer inside WifiController; account them
+  // in the SM's own instrumentation too.
+  sm.breakup.connect += wifi_.phone().profile().wifi_connect_latency;
+  sm.breakup.transfer += wifi_.TransferTime(wire_size);
+
+  auto wire = sm.Serialize(code_bytes, cached);
+  sim_.ScheduleAfter(ser, [this, next, wire = std::move(wire)]() mutable {
+    wifi_.SendFrame(next, std::move(wire), [this, next](Status s) {
+      if (!s.ok()) {
+        CLOG_DEBUG(kModule, "node %u migration frame to %u lost: %s",
+                   node(), next, s.ToString().c_str());
+      }
+    });
+  }, "sm.serialize");
+}
+
+void SmRuntime::Receive(net::NodeId from, const std::vector<std::byte>& wire) {
+  (void)from;
+  auto sm = SmartMessage::Deserialize(wire);
+  if (!sm.ok()) {
+    CLOG_WARN(kModule, "node %u dropped malformed SM frame: %s", node(),
+              sm.status().ToString().c_str());
+    return;
+  }
+  if (resident_ >= config_.max_resident) {
+    ++rejected_;  // admission rejection = silent SM death
+    CLOG_DEBUG(kModule, "node %u admission manager rejected SM %s", node(),
+               sm->id.c_str());
+    return;
+  }
+  ++admitted_;
+  ++resident_;
+  TouchCodeCache(sm->code_brick);
+  ScheduleExecution(*std::move(sm), /*count_in_breakup=*/true);
+}
+
+SmRuntime::BfsResult SmRuntime::Bfs(
+    const std::unordered_set<net::NodeId>& exclude) const {
+  BfsResult result;
+  std::queue<net::NodeId> frontier;
+  result.depth[node()] = 0;
+  result.order.push_back(node());
+  frontier.push(node());
+  while (!frontier.empty()) {
+    const net::NodeId current = frontier.front();
+    frontier.pop();
+    const SmRuntime* rt = bus_.Find(current);
+    if (rt == nullptr) continue;
+    for (const net::NodeId nb : rt->wifi_.Neighbors()) {
+      if (result.depth.contains(nb) || exclude.contains(nb)) continue;
+      const SmRuntime* nb_rt = bus_.Find(nb);
+      if (nb_rt == nullptr || !nb_rt->participating()) continue;
+      result.depth[nb] = result.depth[current] + 1;
+      result.parent[nb] = current;
+      result.order.push_back(nb);
+      frontier.push(nb);
+    }
+  }
+  return result;
+}
+
+Result<net::NodeId> SmRuntime::NextHopTowardTag(
+    const std::string& tag,
+    const std::unordered_set<net::NodeId>& exclude) const {
+  const BfsResult bfs = Bfs(exclude);
+  for (const net::NodeId candidate : bfs.order) {  // BFS order = nearest first
+    if (candidate == node()) continue;
+    const SmRuntime* rt = bus_.Find(candidate);
+    if (rt == nullptr || !rt->tags_.Has(tag)) continue;
+    // Walk back to the first hop from this node.
+    net::NodeId hop = candidate;
+    while (bfs.parent.at(hop) != node()) hop = bfs.parent.at(hop);
+    return hop;
+  }
+  return NotFound("no reachable node exposes tag '" + tag + "'");
+}
+
+Result<int> SmRuntime::HopDistanceToTag(const std::string& tag) const {
+  if (tags_.Has(tag)) return 0;
+  const BfsResult bfs = Bfs({});
+  for (const net::NodeId candidate : bfs.order) {
+    if (candidate == node()) continue;
+    const SmRuntime* rt = bus_.Find(candidate);
+    if (rt != nullptr && rt->tags_.Has(tag)) return bfs.depth.at(candidate);
+  }
+  return NotFound("no reachable node exposes tag '" + tag + "'");
+}
+
+std::vector<std::pair<net::NodeId, int>> SmRuntime::NodesWithTag(
+    const std::string& tag, int max_hops) const {
+  const BfsResult bfs = Bfs({});
+  std::vector<std::pair<net::NodeId, int>> out;
+  for (const net::NodeId candidate : bfs.order) {
+    if (candidate == node()) continue;
+    const int depth = bfs.depth.at(candidate);
+    if (max_hops > 0 && depth > max_hops) continue;
+    const SmRuntime* rt = bus_.Find(candidate);
+    if (rt != nullptr && rt->tags_.Has(tag)) out.emplace_back(candidate, depth);
+  }
+  return out;
+}
+
+void SmRuntime::RegisterReplyHandler(const std::string& message_id,
+                                     ReplyHandler handler) {
+  reply_handlers_[message_id] = std::move(handler);
+}
+
+void SmRuntime::UnregisterReplyHandler(const std::string& message_id) {
+  reply_handlers_.erase(message_id);
+}
+
+bool SmRuntime::DeliverReply(SmartMessage sm) {
+  const auto it = reply_handlers_.find(sm.id);
+  if (it == reply_handlers_.end()) return false;
+  // Move the handler out: delivery may re-register (periodic queries).
+  ReplyHandler handler = std::move(it->second);
+  reply_handlers_.erase(it);
+  handler(std::move(sm));
+  return true;
+}
+
+}  // namespace contory::sm

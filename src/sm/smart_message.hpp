@@ -1,0 +1,78 @@
+// Smart Message representation.
+//
+// "An SM is a user-defined application, similar to a mobile agent, whose
+// execution is sequentially distributed over a series of nodes using
+// execution migration ... An SM consists of code bricks, data bricks
+// (mobile data explicitly identified in the program), and execution
+// control state" (Sec. 5.1). We model code bricks by reference — an id
+// naming a handler installed on every Contory node plus the byte size the
+// code occupies on the wire (skipped when the receiving node's code cache
+// already holds the brick) — data bricks as an opaque payload, and the
+// execution control state (hop counter, visited set, routing target) as
+// explicit fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "net/medium.hpp"
+
+namespace contory::sm {
+
+/// Accumulated per-migration latency decomposition. The paper reports the
+/// break-up: connection 4-5%, serialization 26-33%, thread switching
+/// 12-14%, transfer 51-54% of total hop time; benches print ours from
+/// these counters.
+struct HopBreakup {
+  SimDuration connect{};
+  SimDuration serialize{};
+  SimDuration thread_switch{};
+  SimDuration transfer{};
+
+  [[nodiscard]] SimDuration Total() const noexcept {
+    return connect + serialize + thread_switch + transfer;
+  }
+  HopBreakup& operator+=(const HopBreakup& other) noexcept;
+};
+
+struct SmartMessage {
+  /// Unique message id ("to disambiguate between multiple messages").
+  std::string id;
+  /// Code brick naming the handler that runs at each visited node.
+  std::string code_brick;
+  /// Data bricks: serialized application payload (query, results, ...).
+  std::vector<std::byte> data;
+
+  // --- Execution control state ------------------------------------------
+  net::NodeId origin = net::kInvalidNode;
+  /// Content-based routing target: migrate toward nodes exposing this tag.
+  std::string target_tag;
+  /// "the SM-FINDER maintains a hopCnt that indicates how many hops the
+  /// message has traversed until that moment."
+  int hop_count = 0;
+  /// Routing gives up beyond this many hops (0 = unbounded).
+  int max_hops = 0;
+  /// Nodes already visited (loop avoidance in application routing).
+  std::vector<net::NodeId> visited;
+
+  /// Latency decomposition accumulated across all migrations so far.
+  HopBreakup breakup;
+
+  /// Bytes this SM occupies on the wire. Code travels only when the
+  /// receiver has not cached the brick.
+  [[nodiscard]] std::size_t WireBytes(std::size_t code_bytes,
+                                      bool code_cached_at_receiver) const;
+
+  /// Serializes for transport (code bricks are carried by id; the byte
+  /// cost of code is modelled via WireBytes padding).
+  [[nodiscard]] std::vector<std::byte> Serialize(
+      std::size_t code_bytes, bool code_cached_at_receiver) const;
+  [[nodiscard]] static Result<SmartMessage> Deserialize(
+      const std::vector<std::byte>& wire);
+};
+
+}  // namespace contory::sm

@@ -1,0 +1,83 @@
+#include "sm/tag_space.hpp"
+
+#include <utility>
+
+namespace contory::sm {
+
+bool TagSpace::Expired(const Tag& tag) const noexcept {
+  return tag.expires.has_value() && *tag.expires <= sim_.Now();
+}
+
+void TagSpace::Upsert(std::string name, std::string value,
+                      std::optional<SimDuration> lifetime,
+                      std::string access_key) {
+  Tag tag;
+  tag.name = name;
+  tag.value = std::move(value);
+  tag.created = sim_.Now();
+  if (lifetime.has_value()) tag.expires = sim_.Now() + *lifetime;
+  tag.access_key = std::move(access_key);
+  tags_[std::move(name)] = std::move(tag);
+}
+
+Result<Tag> TagSpace::Read(const std::string& name) const {
+  const auto it = tags_.find(name);
+  if (it == tags_.end() || Expired(it->second)) {
+    return NotFound("no tag named '" + name + "'");
+  }
+  if (!it->second.access_key.empty()) {
+    return PermissionDenied("tag '" + name + "' requires authenticated access");
+  }
+  return it->second;
+}
+
+Result<Tag> TagSpace::ReadWithKey(const std::string& name,
+                                  const std::string& key) const {
+  const auto it = tags_.find(name);
+  if (it == tags_.end() || Expired(it->second)) {
+    return NotFound("no tag named '" + name + "'");
+  }
+  if (!it->second.access_key.empty() && it->second.access_key != key) {
+    return PermissionDenied("wrong key for tag '" + name + "'");
+  }
+  return it->second;
+}
+
+bool TagSpace::Has(const std::string& name) const {
+  const auto it = tags_.find(name);
+  return it != tags_.end() && !Expired(it->second);
+}
+
+Status TagSpace::Delete(const std::string& name) {
+  return tags_.erase(name) > 0
+             ? Status::Ok()
+             : NotFound("no tag named '" + name + "'");
+}
+
+std::vector<Tag> TagSpace::Match(const std::string& prefix) const {
+  std::vector<Tag> out;
+  for (const auto& [name, tag] : tags_) {
+    if (Expired(tag)) continue;
+    if (name.rfind(prefix, 0) == 0) {
+      Tag copy = tag;
+      if (!copy.access_key.empty()) copy.value.clear();  // value is private
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+std::size_t TagSpace::PurgeExpired() {
+  std::size_t removed = 0;
+  for (auto it = tags_.begin(); it != tags_.end();) {
+    if (Expired(it->second)) {
+      it = tags_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace contory::sm

@@ -1,0 +1,107 @@
+#include "testbed/testbed.hpp"
+
+namespace contory::testbed {
+
+World::World(std::uint64_t seed)
+    : sim_(seed),
+      bt_bus_(medium_),
+      wifi_bus_(medium_),
+      cellular_(sim_),
+      environment_(sim_) {}
+
+World::~World() = default;
+
+Device& World::AddDevice(DeviceOptions options) {
+  devices_.push_back(std::make_unique<Device>(*this, options));
+  return *devices_.back();
+}
+
+sensors::GpsDevice& World::AddGps(const std::string& name,
+                                  net::Position position,
+                                  sensors::GpsConfig config) {
+  const net::NodeId node = medium_.Register(name, position);
+  gps_devices_.push_back(
+      std::make_unique<sensors::GpsDevice>(sim_, bt_bus_, node, name,
+                                           config));
+  gps_devices_.back()->PowerOn();
+  return *gps_devices_.back();
+}
+
+infra::ContextServer& World::AddContextServer(
+    const std::string& address, infra::ContextServerConfig config) {
+  servers_.push_back(
+      std::make_unique<infra::ContextServer>(sim_, cellular_, address,
+                                             config));
+  return *servers_.back();
+}
+
+infra::EventBroker& World::AddEventBroker(const std::string& address) {
+  brokers_.push_back(
+      std::make_unique<infra::EventBroker>(sim_, cellular_, address));
+  return *brokers_.back();
+}
+
+infra::RegattaService& World::AddRegattaService(
+    const std::string& address, std::vector<GeoPoint> checkpoints,
+    double radius_m) {
+  regattas_.push_back(std::make_unique<infra::RegattaService>(
+      sim_, cellular_, address, std::move(checkpoints), radius_m));
+  return *regattas_.back();
+}
+
+Device::Device(World& world, const DeviceOptions& options)
+    : world_(world), name_(options.name) {
+  node_ = world_.medium().Register(name_, options.position);
+  phone_ = std::make_unique<phone::SmartPhone>(world_.sim(), options.profile,
+                                               name_);
+  if (options.with_bt) {
+    bt_ = std::make_unique<net::BluetoothController>(
+        world_.sim(), world_.bt_bus(), *phone_, node_);
+    bt_->SetEnabled(true);
+  }
+  if (options.with_wifi) {
+    wifi_ = std::make_unique<net::WifiController>(
+        world_.sim(), world_.wifi_bus(), *phone_, node_);
+    wifi_->SetEnabled(true);
+    sm_ = std::make_unique<sm::SmRuntime>(world_.sim(), world_.sm_bus(),
+                                          *wifi_);
+  }
+  if (options.with_cellular) {
+    modem_ = std::make_unique<net::CellularModem>(
+        world_.sim(), *phone_, world_.cellular(), node_);
+    modem_->SetRadioOn(true);
+  }
+  if (options.with_contory) {
+    core::DeviceServices services;
+    services.sim = &world_.sim();
+    services.phone = phone_.get();
+    services.medium = &world_.medium();
+    services.node = node_;
+    services.bt = bt_.get();
+    services.wifi = wifi_.get();
+    services.sm = sm_.get();
+    services.modem = modem_.get();
+    services.environment = &world_.environment();
+    services.default_infra_address = options.infra_address;
+    factory_ = std::make_unique<core::ContextFactory>(
+        services, options.factory_config);
+    for (const std::string& type : options.internal_sensors) {
+      factory_->internal_reference().RegisterSource(
+          std::make_unique<sensors::EnvironmentSensor>(
+              world_.sim(), world_.environment(), world_.medium(), node_,
+              type, "env:" + type + "@" + name_));
+    }
+  }
+}
+
+Device::~Device() = default;
+
+void Device::MoveTo(net::Position position) {
+  (void)world_.medium().SetPosition(node_, position);
+}
+
+net::Position Device::position() const {
+  return world_.medium().GetPosition(node_).value_or(net::Position{});
+}
+
+}  // namespace contory::testbed

@@ -1,0 +1,114 @@
+// Unit tests for the AccessController.
+#include <gtest/gtest.h>
+
+#include "core/access_controller.hpp"
+
+namespace contory::core {
+namespace {
+
+/// Client whose MakeDecision answer is scripted.
+class DecidingClient : public Client {
+ public:
+  void ReceiveCxtItem(const CxtItem&) override {}
+  void InformError(const std::string&) override {}
+  bool MakeDecision(const std::string& msg) override {
+    ++decisions_asked;
+    last_question = msg;
+    return answer;
+  }
+  bool answer = true;
+  int decisions_asked = 0;
+  std::string last_question;
+};
+
+TEST(AccessControllerTest, LowSecurityTrustsEveryNewEntity) {
+  AccessController access;
+  DecidingClient client;
+  EXPECT_TRUE(access.Admit("bt:gps-1", &client));
+  EXPECT_EQ(client.decisions_asked, 0);  // never consulted
+  EXPECT_TRUE(access.IsKnown("bt:gps-1"));
+}
+
+TEST(AccessControllerTest, HighSecurityAsksTheApplication) {
+  AccessController access;
+  access.SetMode(SecurityMode::kHigh);
+  DecidingClient client;
+  client.answer = true;
+  EXPECT_TRUE(access.Admit("bt:stranger", &client));
+  EXPECT_EQ(client.decisions_asked, 1);
+  EXPECT_NE(client.last_question.find("bt:stranger"), std::string::npos);
+}
+
+TEST(AccessControllerTest, HighSecurityRemembersDenial) {
+  AccessController access;
+  access.SetMode(SecurityMode::kHigh);
+  DecidingClient client;
+  client.answer = false;
+  EXPECT_FALSE(access.Admit("bt:evil", &client));
+  EXPECT_TRUE(access.IsBlocked("bt:evil"));
+  // Remembered: no second question.
+  client.answer = true;
+  EXPECT_FALSE(access.Admit("bt:evil", &client));
+  EXPECT_EQ(client.decisions_asked, 1);
+}
+
+TEST(AccessControllerTest, HighSecurityFailsClosedWithoutClient) {
+  AccessController access;
+  access.SetMode(SecurityMode::kHigh);
+  EXPECT_FALSE(access.Admit("bt:anon", nullptr));
+}
+
+TEST(AccessControllerTest, ExplicitBlockOverridesLowSecurity) {
+  AccessController access;
+  access.Block("bt:banned");
+  EXPECT_FALSE(access.Admit("bt:banned", nullptr));
+  access.Allow("bt:banned");
+  EXPECT_TRUE(access.Admit("bt:banned", nullptr));
+}
+
+TEST(AccessControllerTest, ForgetDropsEntry) {
+  AccessController access;
+  access.Block("bt:x");
+  access.Forget("bt:x");
+  EXPECT_FALSE(access.IsKnown("bt:x"));
+  // Low security re-admits after forgetting.
+  EXPECT_TRUE(access.Admit("bt:x", nullptr));
+}
+
+TEST(AccessControllerTest, CapacityEvictsColdEntries) {
+  AccessControllerConfig cfg;
+  cfg.capacity = 4;
+  AccessController access{cfg};
+  // Touch "hot" often, then flood with one-shot entries.
+  for (int i = 0; i < 10; ++i) (void)access.Admit("hot", nullptr);
+  for (int i = 0; i < 10; ++i) {
+    (void)access.Admit("cold-" + std::to_string(i), nullptr);
+  }
+  EXPECT_LE(access.known_count(), 4u);
+  // "the most recent and the most often accessed sources are kept".
+  EXPECT_TRUE(access.IsKnown("cold-9"));
+}
+
+TEST(AccessControllerTest, FrequentlyUsedSurvivesEviction) {
+  AccessControllerConfig cfg;
+  cfg.capacity = 3;
+  AccessController access{cfg};
+  for (int i = 0; i < 50; ++i) (void)access.Admit("favourite", nullptr);
+  (void)access.Admit("one-a", nullptr);
+  (void)access.Admit("one-b", nullptr);
+  (void)access.Admit("one-c", nullptr);  // forces eviction
+  EXPECT_TRUE(access.IsKnown("favourite"));
+}
+
+TEST(AccessControllerTest, AccessCountsSurviveModeSwap) {
+  AccessController access;
+  DecidingClient client;
+  EXPECT_TRUE(access.Admit("bt:gps", &client));
+  access.SetMode(SecurityMode::kHigh);
+  // Already known: admitted without a question even in high mode.
+  EXPECT_TRUE(access.Admit("bt:gps", &client));
+  EXPECT_EQ(client.decisions_asked, 0);
+}
+
+}  // namespace
+}  // namespace contory::core

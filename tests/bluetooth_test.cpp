@@ -1,0 +1,298 @@
+// Unit tests for the simulated Bluetooth stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/bluetooth.hpp"
+#include "net/medium.hpp"
+#include "phone/phone_profiles.hpp"
+#include "phone/smart_phone.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> Bytes(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5a});
+}
+
+class BluetoothTest : public ::testing::Test {
+ protected:
+  BluetoothTest() {
+    node_a_ = medium_.Register("A", {0, 0});
+    node_b_ = medium_.Register("B", {5, 0});
+    node_far_ = medium_.Register("far", {500, 0});
+    bt_a_ = std::make_unique<BluetoothController>(sim_, bus_, phone_a_,
+                                                  node_a_);
+    bt_b_ = std::make_unique<BluetoothController>(sim_, bus_, phone_b_,
+                                                  node_b_);
+    bt_far_ = std::make_unique<BluetoothController>(sim_, bus_, phone_far_,
+                                                    node_far_);
+    bt_a_->SetEnabled(true);
+    bt_b_->SetEnabled(true);
+    bt_far_->SetEnabled(true);
+  }
+
+  /// Establishes an A->B link synchronously (runs the sim).
+  BtLinkId ConnectAB() {
+    BtLinkId link = 0;
+    bt_a_->Connect(node_b_, [&](Result<BtLinkId> r) { link = r.value(); });
+    sim_.Run();
+    return link;
+  }
+
+  sim::Simulation sim_{7};
+  Medium medium_;
+  BluetoothBus bus_{medium_};
+  phone::SmartPhone phone_a_{sim_, phone::Nokia6630(), "A"};
+  phone::SmartPhone phone_b_{sim_, phone::Nokia6630(), "B"};
+  phone::SmartPhone phone_far_{sim_, phone::Nokia6630(), "far"};
+  NodeId node_a_{}, node_b_{}, node_far_{};
+  std::unique_ptr<BluetoothController> bt_a_, bt_b_, bt_far_;
+};
+
+TEST_F(BluetoothTest, EnableAddsScanPower) {
+  EXPECT_NEAR(phone_a_.energy().CurrentPowerMilliwatts(), 5.75 + 2.72, 1e-9);
+  bt_a_->SetEnabled(false);
+  EXPECT_NEAR(phone_a_.energy().CurrentPowerMilliwatts(), 5.75, 1e-9);
+}
+
+TEST_F(BluetoothTest, InquiryTakesAbout13Seconds) {
+  bool done = false;
+  const SimTime start = sim_.Now();
+  bt_a_->StartInquiry([&](Result<std::vector<BtDeviceInfo>> r) {
+    done = true;
+    EXPECT_TRUE(r.ok());
+  });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  const double secs = ToSeconds(sim_.Now() - start);
+  EXPECT_NEAR(secs, 13.0, 0.6);  // paper: "approximately 13 sec"
+}
+
+TEST_F(BluetoothTest, InquiryFindsOnlyInRangeDevices) {
+  std::vector<BtDeviceInfo> found;
+  bt_a_->StartInquiry(
+      [&](Result<std::vector<BtDeviceInfo>> r) { found = r.value(); });
+  sim_.Run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].node, node_b_);
+  EXPECT_EQ(found[0].name, "B");
+}
+
+TEST_F(BluetoothTest, InquiryMissesDisabledDevices) {
+  bt_b_->SetEnabled(false);
+  std::vector<BtDeviceInfo> found;
+  bt_a_->StartInquiry(
+      [&](Result<std::vector<BtDeviceInfo>> r) { found = r.value(); });
+  sim_.Run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(BluetoothTest, InquiryChargesHighPower) {
+  const auto mark = phone_a_.energy().Mark();
+  bt_a_->StartInquiry([](Result<std::vector<BtDeviceInfo>>) {});
+  sim_.Run();
+  // ~13 s at ~360 mW dominates; BT on-demand discovery is why Table 2's
+  // BT get-with-discovery costs 5.27 J.
+  const double joules = phone_a_.energy().JoulesSince(mark);
+  EXPECT_GT(joules, 3.5);
+  EXPECT_LT(joules, 6.0);
+}
+
+TEST_F(BluetoothTest, ConcurrentInquiryRejected) {
+  bt_a_->StartInquiry([](Result<std::vector<BtDeviceInfo>>) {});
+  Status status;
+  bt_a_->StartInquiry([&](Result<std::vector<BtDeviceInfo>> r) {
+    status = r.status();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  sim_.Run();
+}
+
+TEST_F(BluetoothTest, InquiryWithRadioOffFails) {
+  bt_a_->SetEnabled(false);
+  Status status;
+  bt_a_->StartInquiry(
+      [&](Result<std::vector<BtDeviceInfo>> r) { status = r.status(); });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BluetoothTest, ServiceRegistrationTakes140ms) {
+  const SimTime start = sim_.Now();
+  bool done = false;
+  bt_b_->RegisterService({"contory.cxt.temperature", Bytes(136)},
+                         [&](Result<ServiceHandle> r) {
+                           EXPECT_TRUE(r.ok());
+                           done = true;
+                         });
+  sim_.Run();
+  EXPECT_TRUE(done);
+  // Table 1: publishCxtItem BT-based = 140.359 ms.
+  EXPECT_NEAR(ToMillis(sim_.Now() - start), 140.36, 3.0);
+}
+
+TEST_F(BluetoothTest, SdpDiscoveryFindsRecordsByPrefix) {
+  bt_b_->RegisterService({"contory.cxt.temperature", Bytes(53)},
+                         [](Result<ServiceHandle>) {});
+  bt_b_->RegisterService({"contory.cxt.location", Bytes(136)},
+                         [](Result<ServiceHandle>) {});
+  bt_b_->RegisterService({"obex.ftp", Bytes(10)},
+                         [](Result<ServiceHandle>) {});
+  sim_.Run();
+
+  std::vector<ServiceRecord> records;
+  const SimTime start = sim_.Now();
+  bt_a_->DiscoverServices(node_b_, "contory.cxt.",
+                          [&](Result<std::vector<ServiceRecord>> r) {
+                            records = r.value();
+                          });
+  sim_.Run();
+  EXPECT_EQ(records.size(), 2u);
+  // Paper: "BT service discovery takes approximately 1.12 sec".
+  EXPECT_NEAR(ToSeconds(sim_.Now() - start), 1.12, 0.1);
+}
+
+TEST_F(BluetoothTest, SdpOnUnreachableDeviceFails) {
+  Status status;
+  bt_a_->DiscoverServices(node_far_, "",
+                          [&](Result<std::vector<ServiceRecord>> r) {
+                            status = r.status();
+                          });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BluetoothTest, UpdateServiceInPlace) {
+  ServiceHandle handle = 0;
+  bt_b_->RegisterService({"contory.cxt.temp", Bytes(53)},
+                         [&](Result<ServiceHandle> r) { handle = r.value(); });
+  sim_.Run();
+  EXPECT_TRUE(bt_b_->UpdateService(handle, Bytes(60)).ok());
+  EXPECT_FALSE(bt_b_->UpdateService(999, Bytes(1)).ok());
+}
+
+TEST_F(BluetoothTest, ConnectEstablishesBidirectionalLink) {
+  const BtLinkId link = ConnectAB();
+  EXPECT_TRUE(bt_a_->LinkAlive(link));
+  EXPECT_EQ(bt_a_->LinkPeer(link).value(), node_b_);
+}
+
+TEST_F(BluetoothTest, ConnectOutOfRangeFails) {
+  Status status;
+  bt_a_->Connect(node_far_, [&](Result<BtLinkId> r) { status = r.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BluetoothTest, SendDeliversPayload) {
+  const BtLinkId link = ConnectAB();
+  std::vector<std::byte> received;
+  NodeId from = kInvalidNode;
+  bt_b_->SetDataHandler(
+      [&](BtLinkId, NodeId f, const std::vector<std::byte>& data) {
+        from = f;
+        received = data;
+      });
+  bool delivered = false;
+  bt_a_->Send(link, Bytes(136), [&](Status s) {
+    EXPECT_TRUE(s.ok());
+    delivered = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(from, node_a_);
+  EXPECT_EQ(received.size(), 136u);
+}
+
+TEST_F(BluetoothTest, SegmentationInflatesWireSize) {
+  // 340 B NMEA -> 4 segments of 96 B payload -> 340 + 4*16 = 404 B on air.
+  EXPECT_EQ(bt_a_->WireBytes(340), 340u + 4u * 16u);
+  // 136 B item -> 2 segments -> 136 + 32.
+  EXPECT_EQ(bt_a_->WireBytes(136), 136u + 2u * 16u);
+  // Larger payloads cost proportionally more air time.
+  EXPECT_GT(bt_a_->TransferTime(340), bt_a_->TransferTime(136));
+}
+
+TEST_F(BluetoothTest, TransferChargesBothEnds) {
+  const BtLinkId link = ConnectAB();
+  const auto mark_a = phone_a_.energy().Mark();
+  const auto mark_b = phone_b_.energy().Mark();
+  bt_a_->Send(link, Bytes(1000));
+  sim_.Run();
+  // Both ends burned more than idle would explain over the transfer time.
+  const double idle_a = (5.75 + 2.72 + 8.0) / 1e3 *
+                        ToSeconds(bt_a_->TransferTime(1000));
+  EXPECT_GT(phone_a_.energy().JoulesSince(mark_a), idle_a * 1.5);
+  EXPECT_GT(phone_b_.energy().JoulesSince(mark_b), idle_a * 1.5);
+}
+
+TEST_F(BluetoothTest, SendOnDeadLinkFails) {
+  Status status = Status::Ok();
+  bt_a_->Send(12345, Bytes(10), [&](Status s) { status = s; });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(BluetoothTest, DisconnectNotifiesPeer) {
+  const BtLinkId link = ConnectAB();
+  int peer_drops = 0;
+  bt_b_->SetDisconnectHandler([&](BtLinkId, NodeId peer) {
+    EXPECT_EQ(peer, node_a_);
+    ++peer_drops;
+  });
+  bt_a_->Disconnect(link);
+  sim_.Run();
+  EXPECT_EQ(peer_drops, 1);
+  EXPECT_FALSE(bt_a_->LinkAlive(link));
+}
+
+TEST_F(BluetoothTest, FailureDropsLinksAfterSupervisionTimeout) {
+  // The Fig. 5 scenario: the GPS device is switched off; the phone's
+  // stack reports the dead link ~1 s later.
+  const BtLinkId link = ConnectAB();
+  (void)link;
+  SimTime drop_time{};
+  bt_a_->SetDisconnectHandler(
+      [&](BtLinkId, NodeId) { drop_time = sim_.Now(); });
+  const SimTime fail_time = sim_.Now();
+  bt_b_->SetFailed(true);
+  sim_.Run();
+  EXPECT_GT(drop_time, fail_time);
+  EXPECT_NEAR(ToSeconds(drop_time - fail_time), 1.0, 0.1);
+}
+
+TEST_F(BluetoothTest, FailedDeviceInvisibleToInquiry) {
+  bt_b_->SetFailed(true);
+  std::vector<BtDeviceInfo> found;
+  bt_a_->StartInquiry(
+      [&](Result<std::vector<BtDeviceInfo>> r) { found = r.value(); });
+  sim_.Run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(BluetoothTest, RecoveredDeviceDiscoverableAgain) {
+  bt_b_->SetFailed(true);
+  bt_b_->SetFailed(false);
+  std::vector<BtDeviceInfo> found;
+  bt_a_->StartInquiry(
+      [&](Result<std::vector<BtDeviceInfo>> r) { found = r.value(); });
+  sim_.Run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].node, node_b_);
+}
+
+TEST_F(BluetoothTest, LinkPowerAppearsWhileConnected) {
+  ConnectAB();
+  EXPECT_NEAR(phone_a_.energy().ComponentPowerMilliwatts("bt.link"), 8.0,
+              1e-9);
+  bt_a_->Disconnect(1);
+  sim_.Run();
+  EXPECT_DOUBLE_EQ(phone_a_.energy().ComponentPowerMilliwatts("bt.link"),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace contory::net

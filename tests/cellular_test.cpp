@@ -1,0 +1,227 @@
+// Unit tests for the cellular (UMTS/GPRS) model and its RRC machine.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "net/cellular.hpp"
+#include "net/medium.hpp"
+#include "phone/phone_profiles.hpp"
+#include "phone/smart_phone.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> Bytes(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x5a});
+}
+
+class CellularTest : public ::testing::Test {
+ protected:
+  CellularTest() {
+    node_ = medium_.Register("phone", {0, 0});
+    modem_ = std::make_unique<CellularModem>(sim_, phone_, network_, node_);
+    // Echo server: responds with a fixed-size payload.
+    EXPECT_TRUE(network_
+                    .RegisterServer("infra.dynamos.fi",
+                                    [](NodeId, const std::vector<std::byte>&,
+                                       CellularNetwork::Respond respond) {
+                                      respond(Bytes(1696));
+                                    })
+                    .ok());
+    modem_->SetRadioOn(true);
+  }
+
+  /// Sends one request and runs until completion; returns elapsed ms.
+  double RoundTripMs(std::size_t request_bytes) {
+    const SimTime start = sim_.Now();
+    bool done = false;
+    modem_->SendRequest("infra.dynamos.fi", Bytes(request_bytes),
+                        [&](Result<std::vector<std::byte>> r) {
+                          EXPECT_TRUE(r.ok());
+                          done = true;
+                        });
+    while (!done && sim_.Step()) {
+    }
+    return ToMillis(sim_.Now() - start);
+  }
+
+  sim::Simulation sim_{13};
+  Medium medium_;
+  CellularNetwork network_{sim_};
+  phone::SmartPhone phone_{sim_, phone::Nokia6630(), "phone"};
+  NodeId node_{};
+  std::unique_ptr<CellularModem> modem_;
+};
+
+TEST_F(CellularTest, StartsIdle) {
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kIdle);
+}
+
+TEST_F(CellularTest, ColdRequestLatencyInPaperRange) {
+  // Table 1: extInfra getCxtItem 1473 ms avg, range 703-2766 ms.
+  RunningStats ms;
+  for (int i = 0; i < 10; ++i) {
+    // Force a cold connect each time by waiting out the tails.
+    sim_.RunFor(60s);
+    ASSERT_EQ(modem_->rrc_state(), RrcState::kIdle);
+    ms.Add(RoundTripMs(1696));
+  }
+  EXPECT_GT(ms.mean(), 900.0);
+  EXPECT_LT(ms.mean(), 2200.0);
+  EXPECT_GT(ms.min(), 500.0);
+  EXPECT_LT(ms.max(), 3500.0);
+}
+
+TEST_F(CellularTest, WarmRequestsAreMuchFaster) {
+  const double cold = RoundTripMs(1696);
+  const double warm = RoundTripMs(1696);  // still in DCH
+  EXPECT_LT(warm, cold * 0.6);
+}
+
+TEST_F(CellularTest, RrcDecaysThroughTailStates) {
+  RoundTripMs(1696);
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kDchTail);
+  sim_.RunFor(9s);
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kFach);
+  sim_.RunFor(11s);
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kIdle);
+}
+
+TEST_F(CellularTest, ActivityResetsTailDecay) {
+  RoundTripMs(1696);
+  sim_.RunFor(7s);  // deep into DCH tail
+  RoundTripMs(1696);
+  sim_.RunFor(7s);
+  EXPECT_NE(modem_->rrc_state(), RrcState::kIdle);
+}
+
+TEST_F(CellularTest, OnDemandItemCostsOrderTenJoules) {
+  // Table 2: extInfra on-demand getCxtItem = 14.076 J. Dominated by the
+  // connection open plus DCH/FACH tails.
+  sim_.RunFor(60s);
+  const auto mark = phone_.energy().Mark();
+  RoundTripMs(1696);
+  sim_.RunFor(30s);  // let tails fully decay
+  const double joules = phone_.energy().JoulesSince(mark);
+  EXPECT_GT(joules, 9.0);
+  EXPECT_LT(joules, 19.0);
+}
+
+TEST_F(CellularTest, BatchingReducesPerItemEnergy) {
+  // "Sending and retrieving larger groups of items in the same time slot
+  // largely reduces the energy consumption per item."
+  sim_.RunFor(60s);
+  const auto mark = phone_.energy().Mark();
+  constexpr int kBatch = 10;
+  for (int i = 0; i < kBatch; ++i) RoundTripMs(1696);
+  sim_.RunFor(30s);
+  const double per_item = phone_.energy().JoulesSince(mark) / kBatch;
+  EXPECT_LT(per_item, 14.076 / 3.0);
+}
+
+TEST_F(CellularTest, PeakPowerIs1000mW) {
+  double peak = 0.0;
+  phone_.energy().SetPowerListener(
+      [&](SimTime, double mw) { peak = std::max(peak, mw); });
+  RoundTripMs(1696);
+  // "The maximum power consumption ... is 1000 mW" (+ small base).
+  EXPECT_GE(peak, 1000.0);
+  EXPECT_LE(peak, 1020.0);
+}
+
+TEST_F(CellularTest, RadioOffFailsFast) {
+  modem_->SetRadioOn(false);
+  Status status;
+  modem_->SendRequest("infra.dynamos.fi", Bytes(100),
+                      [&](Result<std::vector<std::byte>> r) {
+                        status = r.status();
+                      });
+  sim_.RunFor(1s);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(CellularTest, UnknownServerIsNotFound) {
+  Status status;
+  modem_->SendRequest("nowhere.example",
+                      Bytes(100), [&](Result<std::vector<std::byte>> r) {
+                        status = r.status();
+                      });
+  sim_.RunFor(10s);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CellularTest, SlowServerHitsTimeout) {
+  ASSERT_TRUE(network_
+                  .RegisterServer("slow.example",
+                                  [](NodeId, const std::vector<std::byte>&,
+                                     CellularNetwork::Respond) {
+                                    // never responds
+                                  })
+                  .ok());
+  Status status;
+  modem_->SendRequest(
+      "slow.example", Bytes(100),
+      [&](Result<std::vector<std::byte>> r) { status = r.status(); }, 5s);
+  sim_.RunFor(10s);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(CellularTest, ConnectFailureInjection) {
+  sim_.RunFor(60s);
+  modem_->SetConnectFailureRate(1.0);
+  Status status;
+  modem_->SendRequest("infra.dynamos.fi", Bytes(100),
+                      [&](Result<std::vector<std::byte>> r) {
+                        status = r.status();
+                      });
+  sim_.RunFor(20s);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kIdle);
+}
+
+TEST_F(CellularTest, PushReachesHandler) {
+  std::size_t pushed = 0;
+  modem_->SetPushHandler(
+      [&](const std::vector<std::byte>& data) { pushed = data.size(); });
+  EXPECT_TRUE(network_.PushToClient(node_, Bytes(1696)).ok());
+  sim_.RunFor(30s);
+  EXPECT_EQ(pushed, 1696u);
+}
+
+TEST_F(CellularTest, PushToOffRadioFails) {
+  modem_->SetRadioOn(false);
+  EXPECT_EQ(network_.PushToClient(node_, Bytes(10)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(CellularTest, PushToUnknownClientFails) {
+  EXPECT_EQ(network_.PushToClient(9999, Bytes(10)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CellularTest, DuplicateServerRegistrationRejected) {
+  const auto status = network_.RegisterServer(
+      "infra.dynamos.fi",
+      [](NodeId, const std::vector<std::byte>&, CellularNetwork::Respond r) {
+        r({});
+      });
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CellularTest, RadioOffDuringConnectFailsWaiters) {
+  Status status;
+  modem_->SendRequest("infra.dynamos.fi", Bytes(100),
+                      [&](Result<std::vector<std::byte>> r) {
+                        status = r.status();
+                      });
+  EXPECT_EQ(modem_->rrc_state(), RrcState::kConnecting);
+  modem_->SetRadioOn(false);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace contory::net

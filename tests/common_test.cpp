@@ -1,0 +1,298 @@
+// Unit tests for the common substrate: time, rng, status, bytes, stats, id.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(SimDuration{1'500'000}), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(SimDuration{1'500}), 1.5);
+  EXPECT_EQ(FromSeconds(2.5), SimDuration{2'500'000});
+  EXPECT_EQ(FromMillis(0.078), SimDuration{78});
+}
+
+TEST(TimeTest, EpochIsZero) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSimEpoch), 0.0);
+}
+
+TEST(TimeTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(SimDuration{500}), "500us");
+  EXPECT_EQ(FormatDuration(SimDuration{1'500}), "1.500ms");
+  EXPECT_EQ(FormatDuration(SimDuration{2'000'000}), "2.000s");
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(FormatTime(kSimEpoch + 155s), "t=155.000s");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto x = rng.UniformInt(2, 5);
+    EXPECT_GE(x, 2);
+    EXPECT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(RngTest, NormalHasRoughlyRightMoments) {
+  Rng rng{11};
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialHasRightMean) {
+  Rng rng{13};
+  RunningStats s;
+  for (int i = 0; i < 50'000; ++i) s.Add(rng.Exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(RngTest, LogNormalIsPositiveAndHeavyTailed) {
+  Rng rng{17};
+  RunningStats s;
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.LogNormal(6.95, 0.35);
+    EXPECT_GT(x, 0.0);
+    s.Add(x);
+  }
+  // Median exp(6.95) ~ 1043; mean is above the median for lognormal.
+  EXPECT_GT(s.mean(), 1043.0);
+  EXPECT_GT(s.max(), 2000.0);  // tail reaches the paper's 2766 ms range
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng{19};
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 10'000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, JitterStaysWithinSpread) {
+  Rng rng{23};
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.Jitter(100.0, 0.05);
+    EXPECT_GE(x, 95.0);
+    EXPECT_LE(x, 105.0);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent{31};
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent2{31};
+  (void)parent2.Next();  // same draws as parent did
+  EXPECT_NE(child.Next(), parent2.Next());
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FailureCarriesCodeAndMessage) {
+  const Status s = Unavailable("bluetooth radio is off");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: bluetooth radio is off");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kPermissionDenied, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kAlreadyExists,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r{NotFound("nope")};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(BytesTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteF64(3.14159);
+  w.WriteBool(true);
+  w.WriteString("contory");
+
+  ByteReader r{w.bytes()};
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadF64().value(), 3.14159);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "contory");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, BigEndianOnTheWire) {
+  ByteWriter w;
+  w.WriteU16(0x0102);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.bytes()[0], std::byte{0x01});
+  EXPECT_EQ(w.bytes()[1], std::byte{0x02});
+}
+
+TEST(BytesTest, TruncatedReadsFailCleanly) {
+  ByteWriter w;
+  w.WriteU16(7);
+  ByteReader r{w.bytes()};
+  EXPECT_FALSE(r.ReadU32().ok());
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.WriteU32(100);  // claims 100 bytes, provides none
+  ByteReader r{w.bytes()};
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BytesTest, PaddingCountsTowardSize) {
+  ByteWriter w;
+  w.WritePadding(100);
+  EXPECT_EQ(w.size(), 100u);
+  ByteReader r{w.bytes()};
+  EXPECT_TRUE(r.Skip(100).ok());
+  EXPECT_FALSE(r.Skip(1).ok());
+}
+
+TEST(StatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, ConfidenceIntervalUsesStudentT) {
+  RunningStats s;
+  for (const double x : {10.0, 12.0, 11.0, 13.0, 9.0}) s.Add(x);
+  // n=5 -> df=4 -> t=2.132; ci = t * sd/sqrt(n).
+  const double expected = 2.132 * s.stddev() / std::sqrt(5.0);
+  EXPECT_NEAR(s.ConfidenceInterval90(), expected, 1e-9);
+}
+
+TEST(StatsTest, CellFormatMatchesPaperStyle) {
+  RunningStats s;
+  s.Add(140.0);
+  s.Add(140.7);
+  // n=2 -> df=1 -> t=6.314; sd=0.495 -> ci = 6.314*0.495/sqrt(2) = 2.210.
+  EXPECT_EQ(s.ToCell(), "140.350 [2.210]");
+}
+
+TEST(StatsTest, SingleSampleHasZeroCi) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceInterval90(), 0.0);
+}
+
+TEST(TimeSeriesTest, IntegrationIsTrapezoidal) {
+  TimeSeries ts;
+  using namespace std::chrono_literals;
+  ts.Add(kSimEpoch, 0.0);
+  ts.Add(kSimEpoch + 2s, 10.0);
+  // Triangle: 0.5 * base(2s) * height(10) = 10.
+  EXPECT_DOUBLE_EQ(ts.Integrate(), 10.0);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 10.0);
+}
+
+TEST(TimeSeriesTest, TsvDump) {
+  TimeSeries ts;
+  ts.Add(kSimEpoch + 1s, 2.5);
+  EXPECT_EQ(ts.ToTsv(), "1.000\t2.500\n");
+}
+
+TEST(TimeSeriesTest, AsciiPlotHasAxis) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) {
+    ts.Add(kSimEpoch + std::chrono::seconds{i}, i * 10.0);
+  }
+  const std::string plot = ts.AsciiPlot(40, 5, "mW");
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("mW"), std::string::npos);
+}
+
+TEST(IdTest, SequentialPerPrefix) {
+  IdGenerator ids;
+  EXPECT_EQ(ids.NextId("q"), "q-1");
+  EXPECT_EQ(ids.NextId("q"), "q-2");
+  EXPECT_EQ(ids.NextId("item"), "item-1");
+  EXPECT_EQ(ids.NextCounter("q"), 3u);
+}
+
+}  // namespace
+}  // namespace contory

@@ -1,0 +1,227 @@
+// Unit tests for the energy substrate: ledger, meter, battery.
+#include <gtest/gtest.h>
+
+#include "energy/battery.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/power_meter.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::energy {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EnergyModelTest, StartsIdle) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  EXPECT_DOUBLE_EQ(model.CurrentPowerMilliwatts(), 0.0);
+  EXPECT_DOUBLE_EQ(model.TotalEnergyJoules(), 0.0);
+}
+
+TEST(EnergyModelTest, IntegratesPowerOverTime) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("radio", 1000.0);  // 1 W
+  sim.RunFor(10s);
+  EXPECT_NEAR(model.TotalEnergyJoules(), 10.0, 1e-9);
+}
+
+TEST(EnergyModelTest, ComponentsSum) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("a", 5.75);
+  model.SetComponentPower("b", 2.72);
+  EXPECT_NEAR(model.CurrentPowerMilliwatts(), 8.47, 1e-9);
+  EXPECT_NEAR(model.ComponentPowerMilliwatts("a"), 5.75, 1e-9);
+  EXPECT_DOUBLE_EQ(model.ComponentPowerMilliwatts("absent"), 0.0);
+}
+
+TEST(EnergyModelTest, PowerChangeSplitsIntegral) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 1000.0);
+  sim.RunFor(5s);
+  model.SetComponentPower("x", 500.0);
+  sim.RunFor(5s);
+  EXPECT_NEAR(model.TotalEnergyJoules(), 5.0 + 2.5, 1e-9);
+}
+
+TEST(EnergyModelTest, ZeroRemovesComponent) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 100.0);
+  model.SetComponentPower("x", 0.0);
+  EXPECT_TRUE(model.components().empty());
+}
+
+TEST(EnergyModelTest, MarkersMeasureDelta) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 2000.0);
+  sim.RunFor(1s);
+  const EnergyMarker mark = model.Mark();
+  sim.RunFor(3s);
+  EXPECT_NEAR(model.JoulesSince(mark), 6.0, 1e-9);
+}
+
+TEST(EnergyModelTest, OneShotEnergy) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.AddEnergyJoules(0.5);
+  EXPECT_NEAR(model.TotalEnergyJoules(), 0.5, 1e-12);
+}
+
+TEST(EnergyModelTest, ListenerFiresOnChange) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  double last = -1.0;
+  model.SetPowerListener([&](SimTime, double mw) { last = mw; });
+  model.SetComponentPower("x", 42.0);
+  EXPECT_DOUBLE_EQ(last, 42.0);
+}
+
+TEST(ScopedPowerTest, RaiiAddsAndRemoves) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  {
+    ScopedPower burst{model, "burst", 120.0};
+    EXPECT_DOUBLE_EQ(model.CurrentPowerMilliwatts(), 120.0);
+  }
+  EXPECT_DOUBLE_EQ(model.CurrentPowerMilliwatts(), 0.0);
+}
+
+TEST(PowerMeterTest, SamplesEvery500ms) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 100.0);
+  PowerMeterConfig cfg;
+  cfg.apply_noise = false;
+  PowerMeter meter{sim, model, cfg};
+  meter.Start();
+  sim.RunFor(5s);
+  EXPECT_EQ(meter.trace().size(), 10u);
+  for (const auto& p : meter.trace().points()) {
+    EXPECT_DOUBLE_EQ(p.value, 100.0);
+  }
+}
+
+TEST(PowerMeterTest, SampledEnergyApproximatesTrue) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 1000.0);
+  PowerMeterConfig cfg;
+  cfg.apply_noise = false;
+  PowerMeter meter{sim, model, cfg};
+  meter.Start();
+  sim.RunFor(60s);
+  // Trace spans 0.5..60 s -> 59.5 J of the true 60 J.
+  EXPECT_NEAR(meter.SampledEnergyJoules(), 59.5, 1e-6);
+  EXPECT_NEAR(model.TotalEnergyJoules(), 60.0, 1e-6);
+}
+
+TEST(PowerMeterTest, MissesSubSamplePeaks) {
+  // A 10 ms, 1 W spike between samples must be invisible to the meter —
+  // the same quantization the paper's Fluke 189 has.
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  PowerMeterConfig cfg;
+  cfg.apply_noise = false;
+  PowerMeter meter{sim, model, cfg};
+  meter.Start();
+  sim.ScheduleAfter(600ms, [&] { model.SetComponentPower("spike", 1000.0); });
+  sim.ScheduleAfter(610ms, [&] { model.SetComponentPower("spike", 0.0); });
+  sim.RunFor(2s);
+  EXPECT_DOUBLE_EQ(meter.trace().Max(), 0.0);
+  EXPECT_GT(model.TotalEnergyJoules(), 0.0);  // ledger still caught it
+}
+
+TEST(PowerMeterTest, NoiseIsBounded) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  model.SetComponentPower("x", 100.0);
+  PowerMeter meter{sim, model};  // default 0.75% accuracy, noise on
+  meter.Start();
+  sim.RunFor(30s);
+  for (const auto& p : meter.trace().points()) {
+    EXPECT_GE(p.value, 99.25);
+    EXPECT_LE(p.value, 100.75);
+  }
+}
+
+TEST(PowerMeterTest, StopAndReset) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  PowerMeterConfig cfg;
+  cfg.apply_noise = false;
+  PowerMeter meter{sim, model, cfg};
+  meter.Start();
+  sim.RunFor(2s);
+  meter.Stop();
+  sim.RunFor(2s);
+  EXPECT_EQ(meter.trace().size(), 4u);
+  meter.Reset();
+  EXPECT_TRUE(meter.trace().empty());
+}
+
+TEST(BatteryTest, NominalVoltageAtNoLoad) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  EXPECT_NEAR(battery.TerminalVoltage(), 4.0965, 1e-9);
+}
+
+TEST(BatteryTest, SagsUnderLoadButUnderTwoPercent) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  model.SetComponentPower("wifi", 1190.0);
+  const double v = battery.TerminalVoltage();
+  EXPECT_LT(v, 4.0965);
+  EXPECT_GT(v, 4.0965 * 0.98);  // paper: "deviated less than 2%"
+}
+
+TEST(BatteryTest, MeterShuntDropsSupplyVoltage) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  model.SetComponentPower("wifi", 1190.0);
+  const double no_meter = battery.PhoneSupplyVoltage();
+  battery.SetMeterInserted(true);
+  const double with_meter = battery.PhoneSupplyVoltage();
+  EXPECT_LT(with_meter, no_meter);
+  // ~300 mA through 1.8 ohm ~ 0.54 V drop.
+  EXPECT_NEAR(no_meter - with_meter, 0.52, 0.05);
+}
+
+TEST(BatteryTest, WifiInrushTripsOnlyWithMeter) {
+  // Reproduces the paper's observation: the communicator switched off when
+  // WiFi was brought up inside the measurement circuit, but worked fine
+  // without the meter.
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  EXPECT_FALSE(battery.InrushTrips(1113.8));
+  battery.SetMeterInserted(true);
+  EXPECT_TRUE(battery.InrushTrips(1113.8));
+}
+
+TEST(BatteryTest, BtLoadNeverTrips) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  battery.SetMeterInserted(true);
+  EXPECT_FALSE(battery.InrushTrips(120.0));  // BT transfer burst
+}
+
+TEST(BatteryTest, TripListenerFires) {
+  sim::Simulation sim;
+  EnergyModel model{sim};
+  Battery battery{sim, model};
+  int trips = 0;
+  battery.SetTripListener([&](SimTime) { ++trips; });
+  battery.ReportTrip();
+  EXPECT_EQ(trips, 1);
+}
+
+}  // namespace
+}  // namespace contory::energy

@@ -1,0 +1,249 @@
+// Unit tests for the Facade: query merging on submission, post-extraction
+// on delivery, cancellation re-merging, and failure propagation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/facade.hpp"
+#include "core/query/parser.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+/// Transportless provider the facade drives; the test injects items.
+class ScriptedProvider final : public CxtProvider {
+ public:
+  ScriptedProvider(sim::Simulation& sim, query::CxtQuery q,
+                   Callbacks callbacks,
+                   std::vector<ScriptedProvider*>& registry)
+      : CxtProvider(sim, std::move(q), std::move(callbacks)),
+        registry_(registry) {
+    registry_.push_back(this);
+  }
+  ~ScriptedProvider() override { std::erase(registry_, this); }
+
+  query::SourceSel kind() const noexcept override {
+    return query::SourceSel::kAdHocNetwork;
+  }
+  const char* transport() const noexcept override { return "scripted"; }
+  void Push(CxtItem item) { Offer(std::move(item)); }
+  void ForceFail(Status s) { Fail(std::move(s)); }
+
+ protected:
+  void DoStart() override {}
+  void DoStop() override {}
+
+ private:
+  std::vector<ScriptedProvider*>& registry_;
+};
+
+struct FacadeHarness {
+  explicit FacadeHarness(std::uint64_t seed = 3) : sim(seed) {
+    facade = std::make_unique<Facade>(
+        sim, query::SourceSel::kAdHocNetwork,
+        [this](query::CxtQuery q, CxtProvider::Callbacks callbacks) {
+          return std::make_unique<ScriptedProvider>(
+              sim, std::move(q), std::move(callbacks), providers);
+        });
+    facade->SetDelivery(
+        [this](const std::string& id, const CxtItem& item) {
+          deliveries[id].push_back(item);
+        });
+    facade->SetFinished([this](const std::string& id, const Status& s) {
+      finished[id] = s;
+    });
+  }
+
+  CxtItem Item(const std::string& type, double value,
+               double accuracy = 0.2) {
+    CxtItem item;
+    item.id = sim.ids().NextId("item");
+    item.type = type;
+    item.value = value;
+    item.timestamp = sim.Now();
+    item.metadata.accuracy = accuracy;
+    return item;
+  }
+
+  sim::Simulation sim;
+  std::vector<ScriptedProvider*> providers;
+  std::unique_ptr<Facade> facade;
+  std::map<std::string, std::vector<CxtItem>> deliveries;
+  std::map<std::string, Status> finished;
+};
+
+TEST(FacadeTest, FirstQueryCreatesProvider) {
+  FacadeHarness h;
+  ASSERT_TRUE(
+      h.facade->Submit(Q(h.sim, "SELECT temperature DURATION 1 hour "
+                                "EVERY 10 sec"))
+          .ok());
+  EXPECT_EQ(h.facade->active_provider_count(), 1u);
+  EXPECT_EQ(h.providers.size(), 1u);
+}
+
+TEST(FacadeTest, SameSelectMergesIntoOneProvider) {
+  // The paper's headline merging behaviour: two temperature queries, one
+  // provider with the widened parameters.
+  FacadeHarness h;
+  ASSERT_TRUE(h.facade
+                  ->Submit(Q(h.sim,
+                             "SELECT temperature FROM adHocNetwork(all,3) "
+                             "FRESHNESS 10sec DURATION 1hour EVERY 15sec"))
+                  .ok());
+  ASSERT_TRUE(h.facade
+                  ->Submit(Q(h.sim,
+                             "SELECT temperature FROM adHocNetwork(all,1) "
+                             "FRESHNESS 20sec DURATION 2hour EVERY 30sec"))
+                  .ok());
+  EXPECT_EQ(h.facade->active_provider_count(), 1u);
+  EXPECT_EQ(h.facade->active_original_count(), 2u);
+  ASSERT_EQ(h.providers.size(), 1u);
+  const auto& merged = h.providers[0]->query();
+  EXPECT_EQ(merged.freshness, SimDuration{20s});
+  EXPECT_EQ(merged.every, SimDuration{15s});
+  EXPECT_EQ(merged.duration.time, SimDuration{2h});
+}
+
+TEST(FacadeTest, DifferentSelectsGetSeparateProviders) {
+  FacadeHarness h;
+  ASSERT_TRUE(
+      h.facade->Submit(Q(h.sim, "SELECT temperature DURATION 1 hour")).ok());
+  ASSERT_TRUE(
+      h.facade->Submit(Q(h.sim, "SELECT wind DURATION 1 hour")).ok());
+  EXPECT_EQ(h.facade->active_provider_count(), 2u);
+}
+
+TEST(FacadeTest, PostExtractionSplitsResults) {
+  FacadeHarness h;
+  auto strict = Q(h.sim,
+                  "SELECT temperature WHERE accuracy<=0.2 "
+                  "DURATION 1 hour EVERY 10 sec");
+  auto loose = Q(h.sim,
+                 "SELECT temperature WHERE accuracy<=0.9 "
+                 "DURATION 1 hour EVERY 10 sec");
+  const std::string strict_id = strict.id;
+  const std::string loose_id = loose.id;
+  ASSERT_TRUE(h.facade->Submit(std::move(strict)).ok());
+  ASSERT_TRUE(h.facade->Submit(std::move(loose)).ok());
+  ASSERT_EQ(h.providers.size(), 1u);  // merged (WHERE dropped)
+
+  h.providers[0]->Push(h.Item("temperature", 20.0, /*accuracy=*/0.5));
+  // Only the loose query matches a 0.5-accuracy item.
+  EXPECT_EQ(h.deliveries[strict_id].size(), 0u);
+  EXPECT_EQ(h.deliveries[loose_id].size(), 1u);
+
+  h.providers[0]->Push(h.Item("temperature", 21.0, /*accuracy=*/0.1));
+  EXPECT_EQ(h.deliveries[strict_id].size(), 1u);
+  EXPECT_EQ(h.deliveries[loose_id].size(), 2u);
+}
+
+TEST(FacadeTest, CancelLastOriginalStopsProvider) {
+  FacadeHarness h;
+  auto q = Q(h.sim, "SELECT temperature DURATION 1 hour EVERY 10 sec");
+  const std::string id = q.id;
+  ASSERT_TRUE(h.facade->Submit(std::move(q)).ok());
+  h.facade->Cancel(id);
+  EXPECT_EQ(h.facade->active_provider_count(), 0u);
+  h.sim.RunFor(1s);  // reap
+  EXPECT_TRUE(h.providers.empty());  // destroyed
+}
+
+TEST(FacadeTest, CancelOneOfTwoNarrowsMergedQuery) {
+  FacadeHarness h;
+  auto fast = Q(h.sim, "SELECT temperature DURATION 1hour EVERY 5sec");
+  auto slow = Q(h.sim, "SELECT temperature DURATION 1hour EVERY 60sec");
+  const std::string fast_id = fast.id;
+  ASSERT_TRUE(h.facade->Submit(std::move(fast)).ok());
+  ASSERT_TRUE(h.facade->Submit(std::move(slow)).ok());
+  ASSERT_EQ(h.providers.size(), 1u);
+  EXPECT_EQ(h.providers[0]->query().every, SimDuration{5s});
+
+  h.facade->Cancel(fast_id);
+  EXPECT_EQ(h.facade->active_provider_count(), 1u);
+  // Re-merged to the remaining original's rate.
+  EXPECT_EQ(h.providers[0]->query().every, SimDuration{60s});
+}
+
+TEST(FacadeTest, ProviderFailureReportsEveryOriginal) {
+  FacadeHarness h;
+  auto a = Q(h.sim, "SELECT temperature DURATION 1hour EVERY 10sec");
+  auto b = Q(h.sim, "SELECT temperature DURATION 1hour EVERY 20sec");
+  const std::string a_id = a.id;
+  const std::string b_id = b.id;
+  ASSERT_TRUE(h.facade->Submit(std::move(a)).ok());
+  ASSERT_TRUE(h.facade->Submit(std::move(b)).ok());
+  h.providers[0]->ForceFail(Unavailable("radio died"));
+  EXPECT_EQ(h.finished[a_id].code(), StatusCode::kUnavailable);
+  EXPECT_EQ(h.finished[b_id].code(), StatusCode::kUnavailable);
+  EXPECT_EQ(h.facade->active_provider_count(), 0u);
+}
+
+TEST(FacadeTest, StopAllSuspendsEverything) {
+  FacadeHarness h;
+  auto a = Q(h.sim, "SELECT temperature DURATION 1hour");
+  auto b = Q(h.sim, "SELECT wind DURATION 1hour");
+  const std::string a_id = a.id;
+  const std::string b_id = b.id;
+  ASSERT_TRUE(h.facade->Submit(std::move(a)).ok());
+  ASSERT_TRUE(h.facade->Submit(std::move(b)).ok());
+  h.facade->StopAll(ResourceExhausted("reducePower"));
+  EXPECT_EQ(h.finished[a_id].code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(h.finished[b_id].code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(h.facade->active_provider_count(), 0u);
+}
+
+TEST(FacadeTest, ProvidersCreatedCounterTracksMergeSavings) {
+  FacadeHarness h;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(h.facade
+                    ->Submit(Q(h.sim,
+                               "SELECT temperature DURATION 1hour "
+                               "EVERY 10sec"))
+                    .ok());
+  }
+  EXPECT_EQ(h.facade->providers_created(), 1u);  // all merged
+  EXPECT_EQ(h.facade->active_original_count(), 5u);
+}
+
+TEST(FacadeTest, MergingDisabledByPolicy) {
+  FacadeHarness h;
+  query::MergePolicy no_merge;
+  no_merge.threshold = -1.0;
+  auto facade = std::make_unique<Facade>(
+      h.sim, query::SourceSel::kAdHocNetwork,
+      [&h](query::CxtQuery q, CxtProvider::Callbacks callbacks) {
+        return std::make_unique<ScriptedProvider>(
+            h.sim, std::move(q), std::move(callbacks), h.providers);
+      },
+      no_merge);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(facade
+                    ->Submit(Q(h.sim,
+                               "SELECT temperature DURATION 1hour "
+                               "EVERY 10sec"))
+                    .ok());
+  }
+  EXPECT_EQ(facade->active_provider_count(), 3u);  // no merging
+}
+
+TEST(FacadeTest, InvalidQueryRejected) {
+  FacadeHarness h;
+  query::CxtQuery bad;
+  bad.id = "bad";
+  EXPECT_FALSE(h.facade->Submit(bad).ok());
+  EXPECT_EQ(h.facade->active_provider_count(), 0u);
+}
+
+}  // namespace
+}  // namespace contory::core

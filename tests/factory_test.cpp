@@ -1,0 +1,294 @@
+// Integration tests for the ContextFactory: the paper's public interface,
+// transparent mechanism selection, publishing, remote storage, and
+// control-policy enforcement.
+#include <gtest/gtest.h>
+
+#include "core/contory.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+TEST(FactoryTest, RequiredServicesEnforced) {
+  DeviceServices services;  // all null
+  EXPECT_THROW(ContextFactory{services}, std::invalid_argument);
+}
+
+TEST(FactoryTest, ContoryRuntimePowerAccounted) {
+  testbed::World world{100};
+  auto& device = world.AddDevice({});
+  // base 5.75 + BT scan 2.72 + Contory 1.64 = 10.11 mW, the paper's number.
+  EXPECT_NEAR(device.phone().energy().CurrentPowerMilliwatts(), 10.11, 1e-6);
+}
+
+TEST(FactoryTest, InvalidQueryRejectedAtSubmission) {
+  testbed::World world{101};
+  auto& device = world.AddDevice({});
+  CollectingClient client;
+  query::CxtQuery bad;  // no SELECT/DURATION
+  EXPECT_FALSE(device.contory().ProcessCxtQuery(bad, client).ok());
+}
+
+TEST(FactoryTest, AssignsIdWhenMissing) {
+  testbed::World world{102};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+  CollectingClient client;
+  auto q = Q(world.sim(), "SELECT temperature DURATION 1 min EVERY 10 sec");
+  q.id.clear();
+  const auto id = device.contory().ProcessCxtQuery(q, client);
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(id->empty());
+}
+
+TEST(FactoryTest, AutoSelectionPrefersInternalSensor) {
+  testbed::World world{103};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kTemperature};
+  opts.infra_address = "infra.fi";
+  auto& device = world.AddDevice(opts);
+  world.AddContextServer("infra.fi");
+  CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(), "SELECT temperature DURATION 1 min EVERY 10 sec"),
+      client);
+  ASSERT_TRUE(id.ok());
+  const auto mechanisms = device.contory().CurrentMechanisms(*id);
+  ASSERT_EQ(mechanisms.size(), 1u);
+  EXPECT_TRUE(mechanisms.contains(query::SourceSel::kIntSensor));
+}
+
+TEST(FactoryTest, AutoSelectionFallsBackToAdHocThenInfra) {
+  testbed::World world{104};
+  testbed::DeviceOptions opts;
+  opts.infra_address = "infra.fi";  // no internal sensors
+  auto& device = world.AddDevice(opts);
+  world.AddContextServer("infra.fi");
+  CollectingClient client;
+  // No local humidity sensor, BT present: ad hoc is chosen.
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(), "SELECT humidity DURATION 1 min EVERY 10 sec"),
+      client);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(device.contory()
+                  .CurrentMechanisms(*id)
+                  .contains(query::SourceSel::kAdHocNetwork));
+
+  // Without BT (and without WiFi), only the infrastructure remains.
+  testbed::DeviceOptions no_radios;
+  no_radios.name = "phone-B";
+  no_radios.with_bt = false;
+  no_radios.infra_address = "infra.fi";
+  auto& device_b = world.AddDevice(no_radios);
+  const auto id_b = device_b.contory().ProcessCxtQuery(
+      Q(world.sim(), "SELECT humidity DURATION 1 min EVERY 10 sec"),
+      client);
+  ASSERT_TRUE(id_b.ok());
+  EXPECT_TRUE(device_b.contory()
+                  .CurrentMechanisms(*id_b)
+                  .contains(query::SourceSel::kExtInfra));
+}
+
+TEST(FactoryTest, NoMechanismAvailableFails) {
+  testbed::World world{105};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  auto& device = world.AddDevice(opts);
+  CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(), "SELECT humidity DURATION 1 min"), client);
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FactoryTest, CancelStopsDeliveries) {
+  testbed::World world{106};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+  CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(), "SELECT temperature DURATION 1 hour EVERY 5 sec"),
+      client);
+  ASSERT_TRUE(id.ok());
+  world.RunFor(20s);
+  const auto before = client.items.size();
+  EXPECT_GT(before, 0u);
+  device.contory().CancelCxtQuery(*id);
+  world.RunFor(1min);
+  EXPECT_EQ(client.items.size(), before);
+  EXPECT_EQ(device.contory().queries().active_count(), 0u);
+}
+
+TEST(FactoryTest, PublishRequiresRegistration) {
+  testbed::World world{107};
+  auto& device = world.AddDevice({});
+  CxtItem item;
+  item.id = "i-1";
+  item.type = vocab::kTemperature;
+  item.value = 14.0;
+  item.timestamp = world.Now();
+  EXPECT_EQ(device.contory().PublishCxtItem(item, true).code(),
+            StatusCode::kPermissionDenied);
+
+  CollectingClient server;
+  ASSERT_TRUE(device.contory().RegisterCxtServer(server).ok());
+  EXPECT_TRUE(device.contory().PublishCxtItem(item, true).ok());
+  world.RunFor(1s);  // BT SDDB registration takes ~140 ms
+  EXPECT_TRUE(device.contory().publisher().IsPublished(item.type));
+
+  // Deregistration and duplicate registration behave sanely.
+  EXPECT_EQ(device.contory().RegisterCxtServer(server).code(),
+            StatusCode::kAlreadyExists);
+  device.contory().DeregisterCxtServer(server);
+  EXPECT_EQ(device.contory().PublishCxtItem(item, true).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(FactoryTest, UnpublishWithdraws) {
+  testbed::World world{108};
+  auto& device = world.AddDevice({});
+  CollectingClient server;
+  ASSERT_TRUE(device.contory().RegisterCxtServer(server).ok());
+  CxtItem item;
+  item.id = "i-1";
+  item.type = vocab::kWind;
+  item.value = 6.0;
+  item.timestamp = world.Now();
+  ASSERT_TRUE(device.contory().PublishCxtItem(item, true).ok());
+  world.RunFor(1s);
+  ASSERT_TRUE(device.contory().PublishCxtItem(item, false).ok());
+  EXPECT_FALSE(device.contory().publisher().IsPublished(item.type));
+}
+
+TEST(FactoryTest, StoreCxtItemReachesInfrastructure) {
+  testbed::World world{109};
+  testbed::DeviceOptions opts;
+  opts.infra_address = "infra.fi";
+  auto& device = world.AddDevice(opts);
+  auto& server = world.AddContextServer("infra.fi");
+  CxtItem item;
+  item.id = "i-1";
+  item.type = vocab::kTemperature;
+  item.value = 14.0;
+  item.timestamp = world.Now();
+  device.contory().StoreCxtItem(item);
+  world.RunFor(30s);
+  EXPECT_EQ(server.stored_count(), 1u);
+  // Local repository also keeps it.
+  EXPECT_TRUE(device.contory().repository().Latest(item.type).ok());
+}
+
+TEST(FactoryTest, QueryMergingAcrossApplications) {
+  // "One ContextFactory is instantiated on each device and made
+  // accessible to multiple applications": two clients, same query type,
+  // one provider underneath.
+  testbed::World world{110};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+  CollectingClient app1, app2;
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(Q(world.sim(),
+                                     "SELECT temperature FROM intSensor "
+                                     "DURATION 10 min EVERY 10 sec"),
+                                   app1)
+                  .ok());
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(Q(world.sim(),
+                                     "SELECT temperature FROM intSensor "
+                                     "DURATION 10 min EVERY 20 sec"),
+                                   app2)
+                  .ok());
+  EXPECT_EQ(device.contory()
+                .facade(query::SourceSel::kIntSensor)
+                .active_provider_count(),
+            1u);
+  world.RunFor(1min);
+  EXPECT_GT(app1.items.size(), 0u);
+  EXPECT_GT(app2.items.size(), 0u);
+  // The faster query sees at least as many items.
+  EXPECT_GE(app1.items.size(), app2.items.size());
+}
+
+TEST(FactoryTest, ReducePowerPolicySuspendsInfraQueries) {
+  testbed::World world{111};
+  testbed::DeviceOptions opts;
+  opts.infra_address = "infra.fi";
+  auto& device = world.AddDevice(opts);
+  world.AddContextServer("infra.fi");
+  CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(),
+        "SELECT temperature FROM extInfra DURATION 1 hour EVERY 30 sec"),
+      client);
+  ASSERT_TRUE(id.ok());
+  world.RunFor(10s);
+  ASSERT_EQ(device.contory()
+                .facade(query::SourceSel::kExtInfra)
+                .active_provider_count(),
+            1u);
+
+  // Drain the battery below 20% and add the paper's example rule.
+  device.phone().energy().AddEnergyJoules(11'000.0);
+  ContextRule rule;
+  rule.name = "battery-low";
+  rule.condition =
+      RuleExpr::Leaf({"batteryLevel", RuleOp::kEqual, CxtValue{"low"}});
+  rule.action = RuleAction::kReducePower;
+  device.contory().AddControlPolicy(rule);
+  world.RunFor(10s);
+  EXPECT_TRUE(device.contory().active_actions().contains(
+      RuleAction::kReducePower));
+  EXPECT_EQ(device.contory()
+                .facade(query::SourceSel::kExtInfra)
+                .active_provider_count(),
+            0u);
+  EXPECT_FALSE(client.errors.empty());
+}
+
+TEST(FactoryTest, ReduceMemoryPolicyShrinksRepository) {
+  testbed::World world{112};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+  const std::size_t before =
+      device.contory().repository().capacity_per_type();
+  ContextRule rule;
+  rule.condition =
+      RuleExpr::Leaf({"batteryPercent", RuleOp::kLessThan, CxtValue{101.0}});
+  rule.action = RuleAction::kReduceMemory;
+  device.contory().AddControlPolicy(rule);
+  world.RunFor(10s);
+  EXPECT_EQ(device.contory().repository().capacity_per_type(), before / 2);
+}
+
+TEST(FactoryTest, ItemsLandInRepository) {
+  testbed::World world{113};
+  testbed::DeviceOptions opts;
+  opts.internal_sensors = {vocab::kLight};
+  auto& device = world.AddDevice(opts);
+  CollectingClient client;
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(Q(world.sim(),
+                                     "SELECT light DURATION 1 min "
+                                     "EVERY 10 sec"),
+                                   client)
+                  .ok());
+  world.RunFor(30s);
+  EXPECT_TRUE(device.contory().repository().Latest(vocab::kLight).ok());
+}
+
+}  // namespace
+}  // namespace contory::core

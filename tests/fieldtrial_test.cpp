@@ -1,0 +1,148 @@
+// "Field trial" stress test: a DYNAMOS-style fleet — a dozen WiFi-equipped
+// boats sailing a regatta leg, each running Contory, publishing readings,
+// querying neighbors, and reporting to the infrastructure — run long
+// enough for mobility to reshape the MANET several times. Asserts
+// sustained operation (no starvation, no runaway state) and bitwise
+// determinism across identical runs.
+#include <gtest/gtest.h>
+
+#include "core/contory.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TrialOutcome {
+  std::size_t total_items = 0;
+  std::size_t total_errors = 0;
+  std::size_t server_items = 0;
+  double total_energy_j = 0.0;
+  std::vector<std::size_t> per_boat_items;
+
+  friend bool operator==(const TrialOutcome&, const TrialOutcome&) = default;
+};
+
+TrialOutcome RunTrial(std::uint64_t seed) {
+  constexpr int kBoats = 12;
+  testbed::World world{seed};
+  world.AddContextServer("infra.dynamos.fi");
+
+  struct Boat {
+    testbed::Device* device = nullptr;
+    std::unique_ptr<CollectingClient> app;
+    net::Position pos;
+    double speed_mps = 0.0;
+    double heading = 0.0;
+  };
+  std::vector<Boat> boats(kBoats);
+  Rng scenario_rng{seed};
+  for (int i = 0; i < kBoats; ++i) {
+    testbed::DeviceOptions opts;
+    opts.name = "boat-" + std::to_string(i);
+    opts.profile = phone::Nokia9500();
+    // Start in a loose cluster so the MANET is connected but multi-hop.
+    opts.position = {scenario_rng.Uniform(0, 400),
+                     scenario_rng.Uniform(0, 400)};
+    opts.with_bt = false;
+    opts.with_wifi = true;
+    opts.infra_address = "infra.dynamos.fi";
+    boats[static_cast<std::size_t>(i)].device = &world.AddDevice(opts);
+    boats[static_cast<std::size_t>(i)].app =
+        std::make_unique<CollectingClient>();
+    boats[static_cast<std::size_t>(i)].pos = opts.position;
+    boats[static_cast<std::size_t>(i)].speed_mps =
+        scenario_rng.Uniform(2.0, 5.0);
+    boats[static_cast<std::size_t>(i)].heading =
+        scenario_rng.Uniform(-0.3, 0.3);
+  }
+
+  // Every boat: registers as publisher, publishes wind readings, reports
+  // to the repository, and runs a periodic neighborhood query.
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks;
+  for (auto& boat : boats) {
+    EXPECT_TRUE(boat.device->contory().RegisterCxtServer(*boat.app).ok());
+    testbed::Device* device = boat.device;
+    tasks.push_back(std::make_unique<sim::PeriodicTask>(
+        world.sim(), 20s, [&world, device] {
+          const auto wind =
+              world.environment().Sample(vocab::kWind, device->position());
+          if (!wind.ok()) return;
+          CxtItem item;
+          item.id = world.sim().ids().NextId("w");
+          item.type = vocab::kWind;
+          item.value = *wind;
+          item.timestamp = world.Now();
+          item.metadata.accuracy = 0.5;
+          (void)device->contory().PublishCxtItem(item, true);
+          device->contory().StoreCxtItem(item);
+        }));
+    auto q = query::QueryBuilder(vocab::kWind)
+                 .FromAdHoc(query::AdHocScope::kAllNodes, 3)
+                 .Freshness(2min)
+                 .For(30min)
+                 .Every(45s)
+                 .Build();
+    q.id = world.sim().ids().NextId("q");
+    EXPECT_TRUE(
+        boat.device->contory().ProcessCxtQuery(q, *boat.app).ok());
+  }
+
+  // Mobility: each boat sails east with its own heading; the cluster
+  // stretches into a line over the run, repeatedly changing the topology.
+  tasks.push_back(std::make_unique<sim::PeriodicTask>(
+      world.sim(), 10s, [&boats] {
+        for (auto& boat : boats) {
+          boat.pos.x += boat.speed_mps * 10.0 * 0.9;
+          boat.pos.y += boat.speed_mps * 10.0 * boat.heading;
+          boat.device->MoveTo(boat.pos);
+        }
+      }));
+
+  world.RunFor(30min);
+
+  TrialOutcome outcome;
+  for (auto& boat : boats) {
+    outcome.total_items += boat.app->items.size();
+    outcome.total_errors += boat.app->errors.size();
+    outcome.per_boat_items.push_back(boat.app->items.size());
+    outcome.total_energy_j +=
+        boat.device->phone().energy().TotalEnergyJoules();
+  }
+  return outcome;
+}
+
+TEST(FieldTrialTest, FleetSustainsContextSharing) {
+  const TrialOutcome outcome = RunTrial(4242);
+  // Every boat received context from its neighborhood.
+  std::size_t starved = 0;
+  for (const auto items : outcome.per_boat_items) {
+    if (items == 0) ++starved;
+  }
+  EXPECT_LE(starved, 2u);  // stragglers may sail out of everyone's range
+  EXPECT_GT(outcome.total_items, 100u);
+  // Errors are allowed (topology churn) but must not dominate.
+  EXPECT_LT(outcome.total_errors, outcome.total_items);
+}
+
+TEST(FieldTrialTest, EnergyStaysWithinWifiBudget) {
+  const TrialOutcome outcome = RunTrial(4242);
+  // 12 WiFi phones for 30 min: the ~1.1 W connected drain gives a
+  // 12 x 1.12 W x 1800 s ~ 24.2 kJ floor; periodic UMTS reporting keeps
+  // the cellular radios in FACH/DCH part-time on top of that. Contory's
+  // own traffic must stay a bounded overhead, not a multiplier.
+  EXPECT_GT(outcome.total_energy_j, 24'000.0);
+  EXPECT_LT(outcome.total_energy_j, 45'000.0);
+}
+
+TEST(FieldTrialTest, IdenticalSeedsAreBitwiseIdentical) {
+  EXPECT_EQ(RunTrial(777), RunTrial(777));
+}
+
+TEST(FieldTrialTest, DifferentSeedsDiffer) {
+  EXPECT_NE(RunTrial(777), RunTrial(778));
+}
+
+}  // namespace
+}  // namespace contory::core

@@ -1,0 +1,149 @@
+// Unit tests for the smart-phone model, including the paper's idle power
+// ladder (Section 6.1) which the profiles must reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "phone/phone_profiles.hpp"
+#include "phone/smart_phone.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::phone {
+namespace {
+
+using namespace std::chrono_literals;
+
+class PhoneTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_{1};
+  SmartPhone phone_{sim_, Nokia6630(), "phone-A"};
+};
+
+TEST_F(PhoneTest, BasePowerMatchesPaper) {
+  // "A consumption of 5.75 mW is achieved if also the display is off."
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 5.75, 1e-9);
+}
+
+TEST_F(PhoneTest, DisplayOnBacklightOffMatchesPaper) {
+  phone_.SetDisplayOn(true);
+  // "If the back-light is turned off, the consumption decreases to 14.35."
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 14.35, 1e-9);
+}
+
+TEST_F(PhoneTest, BacklightOnMatchesPaper) {
+  phone_.SetBacklightOn(true);
+  // "back-light switched on, display on ... about 76.20 mW."
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 76.20, 1e-9);
+}
+
+TEST_F(PhoneTest, BacklightImpliesDisplay) {
+  phone_.SetBacklightOn(true);
+  EXPECT_TRUE(phone_.display_on());
+  phone_.SetDisplayOn(false);
+  EXPECT_FALSE(phone_.backlight_on());
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 5.75, 1e-9);
+}
+
+TEST_F(PhoneTest, ContoryRuntimeAddsPaperDelta) {
+  // BT scan (8.47) + Contory = 10.11 mW; Contory alone adds 1.64 mW.
+  phone_.SetContoryRunning(true);
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 5.75 + 1.64, 1e-9);
+  phone_.SetContoryRunning(false);
+  EXPECT_NEAR(phone_.energy().CurrentPowerMilliwatts(), 5.75, 1e-9);
+}
+
+TEST_F(PhoneTest, GsmPagingProducesPeaks) {
+  phone_.SetGsmRadioOn(true);
+  double max_power = 0.0;
+  phone_.energy().SetPowerListener([&](SimTime, double mw) {
+    max_power = std::max(max_power, mw);
+  });
+  sim_.RunFor(5min);
+  // "peaks of 450-481 mW" on top of base power.
+  EXPECT_GE(max_power, 450.0);
+  EXPECT_LE(max_power, 481.0 + 5.75 + 1.0);
+}
+
+TEST_F(PhoneTest, GsmPagingPeriodIs50To60s) {
+  phone_.SetGsmRadioOn(true);
+  std::vector<SimTime> peak_times;
+  phone_.energy().SetPowerListener([&](SimTime t, double mw) {
+    if (mw > 400.0) peak_times.push_back(t);
+  });
+  sim_.RunFor(10min);
+  ASSERT_GE(peak_times.size(), 8u);
+  for (std::size_t i = 1; i < peak_times.size(); ++i) {
+    const double gap = ToSeconds(peak_times[i] - peak_times[i - 1]);
+    EXPECT_GE(gap, 49.0);
+    EXPECT_LE(gap, 62.0);
+  }
+}
+
+TEST_F(PhoneTest, GsmOffStopsPaging) {
+  phone_.SetGsmRadioOn(true);
+  sim_.RunFor(2min);
+  phone_.SetGsmRadioOn(false);
+  const auto mark = phone_.energy().Mark();
+  sim_.RunFor(5min);
+  // Only base power accrues: 5.75 mW * 300 s = 1.725 J.
+  EXPECT_NEAR(phone_.energy().JoulesSince(mark), 1.725, 0.01);
+}
+
+TEST_F(PhoneTest, ChargeCpuAddsEnergy) {
+  const auto mark = phone_.energy().Mark();
+  phone_.ChargeCpu(1s);
+  EXPECT_NEAR(phone_.energy().JoulesSince(mark),
+              phone_.profile().cpu_active_power_mw / 1e3, 1e-9);
+}
+
+TEST_F(PhoneTest, ChargeCpuIgnoresNonPositive) {
+  const auto mark = phone_.energy().Mark();
+  phone_.ChargeCpu(SimDuration::zero());
+  phone_.ChargeCpu(-1s);
+  EXPECT_DOUBLE_EQ(phone_.energy().JoulesSince(mark), 0.0);
+}
+
+TEST_F(PhoneTest, SerializationTimeGrowsWithSize) {
+  const auto small = phone_.SerializationTime(136);
+  const auto large = phone_.SerializationTime(1696);
+  EXPECT_GT(large, small);
+  // ~100 us/byte on the 6630 per the SM break-up calibration.
+  EXPECT_NEAR(ToMillis(large - small), (1696 - 136) * 0.1, 1.0);
+}
+
+TEST(PhoneProfilesTest, ModelsMatchTestbed) {
+  EXPECT_EQ(Nokia6630().model, "Nokia 6630");
+  EXPECT_EQ(Nokia6630().cpu_mhz, 220);
+  EXPECT_TRUE(Nokia6630().has_cellular_3g);
+  EXPECT_FALSE(Nokia6630().has_wifi);
+
+  EXPECT_EQ(Nokia7610().cpu_mhz, 123);
+  EXPECT_FALSE(Nokia7610().has_cellular_3g);
+
+  EXPECT_EQ(Nokia9500().ram_mb, 64);
+  EXPECT_TRUE(Nokia9500().has_wifi);
+}
+
+TEST(PhoneProfilesTest, SlowerCpuSerializesSlower) {
+  sim::Simulation sim;
+  SmartPhone fast{sim, Nokia6630(), "fast"};
+  SmartPhone slow{sim, Nokia7610(), "slow"};
+  EXPECT_GT(slow.SerializationTime(1000), fast.SerializationTime(1000));
+}
+
+TEST(PhoneProfilesTest, WifiDrainDominatesEverything) {
+  // "having WiFi connected is more than 100 times more energy-consuming
+  // than having BT in inquiry [scan] mode".
+  const PhoneProfile p = Nokia9500();
+  EXPECT_GT(p.wifi_connected_power_mw, 100.0 * p.bt_scan_power_mw);
+}
+
+TEST(SmartPhoneTest, TwoPhonesHaveIndependentLedgers) {
+  sim::Simulation sim;
+  SmartPhone a{sim, Nokia6630(), "a"};
+  SmartPhone b{sim, Nokia6630(), "b"};
+  a.SetBacklightOn(true);
+  EXPECT_NEAR(a.energy().CurrentPowerMilliwatts(), 76.20, 1e-9);
+  EXPECT_NEAR(b.energy().CurrentPowerMilliwatts(), 5.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace contory::phone

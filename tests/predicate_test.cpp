@@ -1,0 +1,179 @@
+// Unit tests for WHERE / EVENT predicate evaluation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/model/vocabulary.hpp"
+#include "core/query/parser.hpp"
+#include "core/query/predicate.hpp"
+
+namespace contory::query {
+namespace {
+
+using namespace std::chrono_literals;
+
+CxtItem TempItem(double value, double accuracy = 0.2,
+                 TrustLevel trust = TrustLevel::kUnknown) {
+  CxtItem item;
+  item.type = vocab::kTemperature;
+  item.value = value;
+  item.metadata.accuracy = accuracy;
+  item.metadata.trust = trust;
+  return item;
+}
+
+Predicate P(const std::string& text) {
+  auto p = ParsePredicate(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+  return *std::move(p);
+}
+
+TEST(EvalWhereTest, ValueFieldMatchesItemValue) {
+  EXPECT_TRUE(EvalWhere(P("value>20"), TempItem(25)).value());
+  EXPECT_FALSE(EvalWhere(P("value>20"), TempItem(15)).value());
+}
+
+TEST(EvalWhereTest, OwnTypeNameAliasesValue) {
+  EXPECT_TRUE(EvalWhere(P("temperature>=25"), TempItem(25)).value());
+  EXPECT_FALSE(EvalWhere(P("temperature<25"), TempItem(25)).value());
+}
+
+TEST(EvalWhereTest, OtherTypeNameNeverMatches) {
+  EXPECT_FALSE(EvalWhere(P("humidity>0"), TempItem(25)).value());
+}
+
+TEST(EvalWhereTest, TypeField) {
+  EXPECT_TRUE(EvalWhere(P("type=\"temperature\""), TempItem(1)).value());
+  EXPECT_FALSE(EvalWhere(P("type=\"wind\""), TempItem(1)).value());
+}
+
+TEST(EvalWhereTest, MetadataComparison) {
+  EXPECT_TRUE(EvalWhere(P("accuracy=0.2"), TempItem(20, 0.2)).value());
+  EXPECT_TRUE(EvalWhere(P("accuracy<=0.5"), TempItem(20, 0.2)).value());
+  EXPECT_FALSE(EvalWhere(P("accuracy<=0.1"), TempItem(20, 0.2)).value());
+}
+
+TEST(EvalWhereTest, UnsetMetadataFieldIsFalseNotError) {
+  CxtItem item = TempItem(20);
+  item.metadata.accuracy.reset();
+  const auto r = EvalWhere(P("accuracy<=0.5"), item);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(EvalWhereTest, SymbolicTrustLiterals) {
+  EXPECT_TRUE(EvalWhere(P("trust=trusted"),
+                        TempItem(1, 0.2, TrustLevel::kTrusted))
+                  .value());
+  EXPECT_TRUE(EvalWhere(P("trust>=unknown"),
+                        TempItem(1, 0.2, TrustLevel::kTrusted))
+                  .value());
+  EXPECT_FALSE(EvalWhere(P("trust=trusted"),
+                         TempItem(1, 0.2, TrustLevel::kUnknown))
+                   .value());
+  // Unknown symbolic level is a real error.
+  EXPECT_FALSE(EvalWhere(P("trust=super"), TempItem(1)).ok());
+}
+
+TEST(EvalWhereTest, StringValues) {
+  CxtItem item;
+  item.type = vocab::kActivity;
+  item.value = "walking";
+  EXPECT_TRUE(EvalWhere(P("value=\"walking\""), item).value());
+  EXPECT_TRUE(EvalWhere(P("value!=\"sailing\""), item).value());
+  // Bare-word literal parses as a string.
+  EXPECT_TRUE(EvalWhere(P("activity=walking"), item).value());
+}
+
+TEST(EvalWhereTest, BooleanCombinators) {
+  const CxtItem item = TempItem(30, 0.2, TrustLevel::kTrusted);
+  EXPECT_TRUE(
+      EvalWhere(P("value>25 AND accuracy<=0.5 AND trust=trusted"), item)
+          .value());
+  EXPECT_TRUE(EvalWhere(P("value>100 OR trust=trusted"), item).value());
+  EXPECT_FALSE(EvalWhere(P("NOT trust=trusted"), item).value());
+  EXPECT_TRUE(
+      EvalWhere(P("NOT (value>100 AND accuracy<=0.5)"), item).value());
+}
+
+TEST(EvalWhereTest, TypeMismatchInComparisonIsError) {
+  // Comparing a numeric value with < against a string literal.
+  EXPECT_FALSE(EvalWhere(P("value<\"abc\""), TempItem(1)).ok());
+}
+
+TEST(EvalWhereTest, AggregateInWhereIsError) {
+  EXPECT_FALSE(EvalWhere(P("AVG(temperature)>5"), TempItem(10)).ok());
+}
+
+TEST(EvalAggregateTest, AllFunctions) {
+  std::vector<CxtItem> window{TempItem(10), TempItem(20), TempItem(30)};
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kAvg, "temperature", window).value(), 20.0);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kMin, "temperature", window).value(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kMax, "temperature", window).value(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kSum, "temperature", window).value(), 60.0);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kCount, "temperature", window).value(), 3.0);
+}
+
+TEST(EvalAggregateTest, FiltersByType) {
+  std::vector<CxtItem> window{TempItem(10)};
+  CxtItem wind;
+  wind.type = vocab::kWind;
+  wind.value = 99.0;
+  window.push_back(wind);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kAvg, "temperature", window).value(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      EvalAggregate(AggregateFn::kCount, "wind", window).value(), 1.0);
+}
+
+TEST(EvalAggregateTest, EmptyWindowBehaviour) {
+  std::vector<CxtItem> empty;
+  EXPECT_EQ(EvalAggregate(AggregateFn::kAvg, "t", empty).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_DOUBLE_EQ(EvalAggregate(AggregateFn::kCount, "t", empty).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(EvalAggregate(AggregateFn::kSum, "t", empty).value(), 0.0);
+}
+
+TEST(EvalEventTest, PaperExampleAvgAbove25) {
+  const Predicate event = P("AVG(temperature)>25");
+  std::vector<CxtItem> cold{TempItem(20), TempItem(22)};
+  EXPECT_FALSE(EvalEvent(event, cold).value());
+  std::vector<CxtItem> hot{TempItem(24), TempItem(30)};
+  EXPECT_TRUE(EvalEvent(event, hot).value());
+}
+
+TEST(EvalEventTest, EmptyWindowNeverTriggers) {
+  std::vector<CxtItem> empty;
+  EXPECT_FALSE(EvalEvent(P("AVG(temperature)>25"), empty).value());
+  EXPECT_FALSE(EvalEvent(P("value>0"), empty).value());
+}
+
+TEST(EvalEventTest, NonAggregateUsesLatestItem) {
+  std::vector<CxtItem> window{TempItem(30), TempItem(10)};
+  EXPECT_FALSE(EvalEvent(P("value>25"), window).value());  // latest is 10
+  window.push_back(TempItem(40));
+  EXPECT_TRUE(EvalEvent(P("value>25"), window).value());
+}
+
+TEST(EvalEventTest, MixedAggregateAndPlain) {
+  const Predicate event = P("AVG(temperature)>20 AND value<100");
+  std::vector<CxtItem> window{TempItem(30), TempItem(20)};
+  EXPECT_TRUE(EvalEvent(event, window).value());
+}
+
+TEST(EvalEventTest, CountTriggersOnThreshold) {
+  const Predicate event = P("COUNT(temperature)>=3");
+  std::vector<CxtItem> window{TempItem(1), TempItem(2)};
+  EXPECT_FALSE(EvalEvent(event, window).value());
+  window.push_back(TempItem(3));
+  EXPECT_TRUE(EvalEvent(event, window).value());
+}
+
+}  // namespace
+}  // namespace contory::query

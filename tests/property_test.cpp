@@ -1,0 +1,390 @@
+// Property-style parameterized sweeps over the core invariants:
+// serialization round-trips, parser idempotence, merge subsumption,
+// predicate algebra, simulation determinism, and energy-ledger math.
+#include <gtest/gtest.h>
+
+#include "core/contory.hpp"
+#include "energy/energy_model.hpp"
+#include "sensors/gps.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- CxtItem serialization round-trip over generated items -----------------
+
+class ItemRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+CxtItem GenerateItem(Rng& rng) {
+  static const std::vector<std::string> kTypes = {
+      vocab::kLocation, vocab::kTemperature, vocab::kWind, vocab::kLight,
+      vocab::kActivity, vocab::kBatteryLevel, "customType"};
+  CxtItem item;
+  item.id = "item-" + std::to_string(rng.Next() % 1'000'000);
+  item.type = kTypes[static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<std::int64_t>(kTypes.size()) - 1))];
+  if (item.type == vocab::kLocation) {
+    item.value = GeoPoint{rng.Uniform(-90, 90), rng.Uniform(-180, 180)};
+  } else if (item.type == vocab::kActivity) {
+    item.value = rng.Bernoulli(0.5) ? "walking" : "sailing";
+  } else {
+    item.value = rng.Uniform(-1e6, 1e6);
+  }
+  item.timestamp = kSimEpoch + SimDuration{rng.UniformInt(0, 1'000'000'000)};
+  if (rng.Bernoulli(0.5)) {
+    item.lifetime = SimDuration{rng.UniformInt(1, 3'600'000'000)};
+  }
+  item.source.kind = static_cast<SourceKind>(rng.UniformInt(0, 4));
+  item.source.address = "addr-" + std::to_string(rng.Next() % 100);
+  if (rng.Bernoulli(0.5)) item.metadata.accuracy = rng.Uniform(0, 10);
+  if (rng.Bernoulli(0.5)) item.metadata.correctness = rng.Uniform(0, 1);
+  if (rng.Bernoulli(0.5)) item.metadata.precision = rng.Uniform(0, 5);
+  if (rng.Bernoulli(0.3)) item.metadata.completeness = rng.Uniform(0, 1);
+  item.metadata.trust = static_cast<TrustLevel>(rng.UniformInt(0, 2));
+  item.metadata.privacy = static_cast<PrivacyLevel>(rng.UniformInt(0, 2));
+  return item;
+}
+
+TEST_P(ItemRoundTripTest, SerializeDeserializeIsIdentity) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 50; ++i) {
+    const CxtItem item = GenerateItem(rng);
+    const auto back = CxtItem::Deserialize(item.Serialize());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->id, item.id);
+    EXPECT_EQ(back->type, item.type);
+    EXPECT_EQ(back->value, item.value);
+    EXPECT_EQ(back->timestamp, item.timestamp);
+    EXPECT_EQ(back->lifetime, item.lifetime);
+    EXPECT_EQ(back->source, item.source);
+    EXPECT_EQ(back->metadata, item.metadata);
+  }
+}
+
+TEST_P(ItemRoundTripTest, KnownTypesHonorEnvelopeSizes) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 50; ++i) {
+    const CxtItem item = GenerateItem(rng);
+    const auto info = CxtVocabulary::Default().Find(item.type);
+    if (!info.has_value()) continue;
+    EXPECT_GE(item.Serialize().size(), info->envelope_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemRoundTripTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Query parse/print idempotence -----------------------------------------
+
+class QueryRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QueryRoundTripTest, ParsePrintParseIsStable) {
+  const auto q1 = query::ParseQuery(GetParam());
+  ASSERT_TRUE(q1.ok()) << GetParam() << ": " << q1.status().ToString();
+  const auto q2 = query::ParseQuery(q1->ToString());
+  ASSERT_TRUE(q2.ok()) << q1->ToString();
+  EXPECT_EQ(q1->select_type, q2->select_type);
+  EXPECT_EQ(q1->from, q2->from);
+  EXPECT_EQ(q1->where, q2->where);
+  EXPECT_EQ(q1->freshness, q2->freshness);
+  EXPECT_EQ(q1->duration, q2->duration);
+  EXPECT_EQ(q1->every, q2->every);
+  EXPECT_EQ(q1->event, q2->event);
+  // And print is a fixed point after one round.
+  EXPECT_EQ(q1->ToString(), q2->ToString());
+}
+
+TEST_P(QueryRoundTripTest, SerializeDeserializeIsIdentity) {
+  auto q = query::ParseQuery(GetParam());
+  ASSERT_TRUE(q.ok());
+  q->id = "q-prop";
+  const auto back = query::CxtQuery::Deserialize(q->Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, *q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, QueryRoundTripTest,
+    ::testing::Values(
+        "SELECT temperature DURATION 1 hour",
+        "SELECT location FROM intSensor DURATION 10 min EVERY 5 sec",
+        "SELECT wind FROM adHocNetwork(all,3) DURATION 50 samples",
+        "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 "
+        "FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25",
+        "SELECT light FROM extInfra(\"infra.fi\") region(60.1,24.9,500) "
+        "DURATION 2 min",
+        "SELECT location FROM extInfra entity(\"friend-7\") DURATION 1 min",
+        "SELECT noise WHERE value>50 AND (trust=trusted OR "
+        "correctness>=0.9) DURATION 1 hour EVERY 1 min",
+        "SELECT humidity FROM adHocNetwork(5,2), extInfra DURATION 1 hour",
+        "SELECT speed WHERE NOT activity=\"moored\" DURATION 30 sec",
+        "SELECT pressure FRESHNESS 500 ms DURATION 2 hour "
+        "EVENT MAX(pressure)>=1030"));
+
+// --- Merge subsumption ------------------------------------------------------
+
+struct MergePair {
+  const char* a;
+  const char* b;
+};
+
+class MergeSubsumptionTest : public ::testing::TestWithParam<MergePair> {};
+
+TEST_P(MergeSubsumptionTest, MergedQuerySubsumesBoth) {
+  auto a = query::ParseQuery(GetParam().a);
+  auto b = query::ParseQuery(GetParam().b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  a->id = "a";
+  b->id = "b";
+  const auto m = query::Merge(*a, *b);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+  for (const auto* original : {&*a, &*b}) {
+    // FRESHNESS: merged is no stricter than the original.
+    if (m->freshness.has_value()) {
+      ASSERT_TRUE(original->freshness.has_value());
+      EXPECT_GE(*m->freshness, *original->freshness);
+    }
+    // EVERY: merged is at least as fast.
+    if (original->every.has_value()) {
+      ASSERT_TRUE(m->every.has_value());
+      EXPECT_LE(*m->every, *original->every);
+    }
+    // DURATION: merged lives at least as long.
+    if (m->duration.time.has_value() &&
+        original->duration.time.has_value()) {
+      EXPECT_GE(*m->duration.time, *original->duration.time);
+    }
+    // Scope: merged covers at least the original's hops.
+    for (std::size_t i = 0; i < original->from.sources.size(); ++i) {
+      const auto& orig_scope = original->from.sources[i].scope;
+      const auto& merged_scope = m->from.sources[i].scope;
+      if (!orig_scope.has_value()) continue;
+      ASSERT_TRUE(merged_scope.has_value());
+      EXPECT_GE(merged_scope->num_hops, orig_scope->num_hops);
+      if (!merged_scope->all_nodes()) {
+        ASSERT_FALSE(orig_scope->all_nodes());
+        EXPECT_GE(merged_scope->num_nodes, orig_scope->num_nodes);
+      }
+    }
+    // WHERE: merged keeps it only when identical.
+    if (m->where.has_value()) EXPECT_EQ(m->where, original->where);
+  }
+}
+
+TEST_P(MergeSubsumptionTest, MergeIsSymmetricUpToId) {
+  auto a = query::ParseQuery(GetParam().a);
+  auto b = query::ParseQuery(GetParam().b);
+  a->id = "a";
+  b->id = "b";
+  auto ab = query::Merge(*a, *b);
+  auto ba = query::Merge(*b, *a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  ab->id.clear();
+  ba->id.clear();
+  EXPECT_EQ(ab->freshness, ba->freshness);
+  EXPECT_EQ(ab->every, ba->every);
+  EXPECT_EQ(ab->duration, ba->duration);
+  EXPECT_EQ(ab->where, ba->where);
+  EXPECT_EQ(ab->from, ba->from);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MergeSubsumptionTest,
+    ::testing::Values(
+        MergePair{"SELECT t FROM adHocNetwork(all,3) FRESHNESS 10sec "
+                  "DURATION 1hour EVERY 15sec",
+                  "SELECT t FROM adHocNetwork(all,1) FRESHNESS 20sec "
+                  "DURATION 2hour EVERY 30sec"},
+        MergePair{"SELECT t FROM adHocNetwork(5,2) DURATION 1hour "
+                  "EVERY 5sec",
+                  "SELECT t FROM adHocNetwork(9,4) DURATION 3hour "
+                  "EVERY 7sec"},
+        MergePair{"SELECT t WHERE accuracy<=0.2 DURATION 1hour EVERY 10sec",
+                  "SELECT t WHERE accuracy<=0.5 DURATION 1hour EVERY 9sec"},
+        MergePair{"SELECT t WHERE accuracy<=0.2 DURATION 1hour EVERY 8sec",
+                  "SELECT t WHERE accuracy<=0.2 DURATION 2hour EVERY 4sec"},
+        MergePair{"SELECT t DURATION 30 samples", "SELECT t DURATION "
+                                                  "90 samples"},
+        MergePair{"SELECT t FRESHNESS 5sec DURATION 1hour "
+                  "EVENT AVG(t)>25",
+                  "SELECT t FRESHNESS 50sec DURATION 4hour "
+                  "EVENT AVG(t)>25"}));
+
+// --- Predicate algebra -------------------------------------------------------
+
+class PredicateAlgebraTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+query::Predicate GenerateComparison(Rng& rng) {
+  query::Comparison c;
+  const int pick = static_cast<int>(rng.UniformInt(0, 2));
+  c.field = pick == 0 ? "value" : (pick == 1 ? "accuracy" : "correctness");
+  c.op = static_cast<query::CompareOp>(rng.UniformInt(0, 5));
+  c.literal = rng.Uniform(-10, 10);
+  return query::Predicate::Leaf(std::move(c));
+}
+
+TEST_P(PredicateAlgebraTest, DoubleNegationIsIdentity) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 100; ++i) {
+    const query::Predicate p = GenerateComparison(rng);
+    const query::Predicate not_not_p =
+        query::Predicate::Not(query::Predicate::Not(p));
+    CxtItem item;
+    item.type = "t";
+    item.value = rng.Uniform(-10, 10);
+    item.metadata.accuracy = rng.Uniform(0, 10);
+    item.metadata.correctness = rng.Uniform(0, 1);
+    const auto direct = query::EvalWhere(p, item);
+    const auto doubled = query::EvalWhere(not_not_p, item);
+    ASSERT_EQ(direct.ok(), doubled.ok());
+    if (direct.ok()) EXPECT_EQ(*direct, *doubled);
+  }
+}
+
+TEST_P(PredicateAlgebraTest, DeMorgan) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 100; ++i) {
+    const query::Predicate a = GenerateComparison(rng);
+    const query::Predicate b = GenerateComparison(rng);
+    // NOT (a AND b) == (NOT a) OR (NOT b)
+    const auto lhs = query::Predicate::Not(query::Predicate::And({a, b}));
+    const auto rhs = query::Predicate::Or(
+        {query::Predicate::Not(a), query::Predicate::Not(b)});
+    CxtItem item;
+    item.type = "t";
+    item.value = rng.Uniform(-10, 10);
+    item.metadata.accuracy = rng.Uniform(0, 10);
+    item.metadata.correctness = rng.Uniform(0, 1);
+    const auto l = query::EvalWhere(lhs, item);
+    const auto r = query::EvalWhere(rhs, item);
+    ASSERT_TRUE(l.ok() && r.ok());
+    EXPECT_EQ(*l, *r);
+  }
+}
+
+TEST_P(PredicateAlgebraTest, EqAndNeArePartition) {
+  Rng rng{GetParam()};
+  for (int i = 0; i < 100; ++i) {
+    query::Comparison eq;
+    eq.field = "value";
+    eq.op = query::CompareOp::kEq;
+    eq.literal = rng.Uniform(-3, 3);
+    query::Comparison ne = eq;
+    ne.op = query::CompareOp::kNe;
+    CxtItem item;
+    item.type = "t";
+    item.value = rng.Uniform(-3, 3);
+    const auto e = query::EvalWhere(query::Predicate::Leaf(eq), item);
+    const auto n = query::EvalWhere(query::Predicate::Leaf(ne), item);
+    ASSERT_TRUE(e.ok() && n.ok());
+    EXPECT_NE(*e, *n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateAlgebraTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// --- Simulation determinism ---------------------------------------------------
+
+class DeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismTest, SameSeedSameTrajectory) {
+  const auto run = [&](std::uint64_t seed) {
+    sim::Simulation sim{seed};
+    Rng rng = sim.rng().Fork();
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 20; ++i) {
+      sim.ScheduleAfter(FromMillis(rng.Uniform(1, 100)), [&, i] {
+        trace.push_back(sim.Now().time_since_epoch().count() + i);
+      });
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+  EXPECT_NE(run(GetParam()), run(GetParam() + 1));
+}
+
+TEST_P(DeterminismTest, EnergyIntegralMatchesClosedForm) {
+  sim::Simulation sim{GetParam()};
+  energy::EnergyModel model{sim};
+  Rng rng{GetParam()};
+  double expected = 0.0;
+  double current_mw = 0.0;
+  SimTime last = sim.Now();
+  for (int i = 0; i < 200; ++i) {
+    const auto dwell = FromMillis(rng.Uniform(1, 5'000));
+    sim.RunFor(dwell);
+    expected += current_mw / 1e3 * ToSeconds(sim.Now() - last);
+    last = sim.Now();
+    current_mw = rng.Uniform(0, 1'500);
+    model.SetComponentPower("load", current_mw);
+  }
+  sim.RunFor(1s);
+  expected += current_mw / 1e3 * ToSeconds(sim.Now() - last);
+  EXPECT_NEAR(model.TotalEnergyJoules(), expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(7, 77, 777, 7777));
+
+// --- NMEA round trip across the globe ----------------------------------------
+
+struct NmeaPoint {
+  double lat;
+  double lon;
+};
+
+class NmeaSweepTest : public ::testing::TestWithParam<NmeaPoint> {};
+
+TEST_P(NmeaSweepTest, RoundTripsWithinCentidegree) {
+  sensors::GpsFix fix;
+  fix.position = {GetParam().lat, GetParam().lon};
+  fix.speed_knots = 7.3;
+  fix.course_deg = 211.0;
+  fix.time = kSimEpoch + 12'345s;
+  const auto parsed = sensors::ParseNmeaBurst(sensors::BuildNmeaBurst(fix));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NEAR(parsed->position.lat, fix.position.lat, 1e-4);
+  EXPECT_NEAR(parsed->position.lon, fix.position.lon, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Globe, NmeaSweepTest,
+    ::testing::Values(NmeaPoint{60.15, 24.90}, NmeaPoint{0.0, 0.0},
+                      NmeaPoint{-33.85, 151.21}, NmeaPoint{51.5, -0.12},
+                      NmeaPoint{-54.8, -68.3}, NmeaPoint{89.9, 179.9},
+                      NmeaPoint{-89.9, -179.9}));
+
+// --- BT segmentation monotonicity -------------------------------------------
+
+class SegmentationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentationTest, WireBytesMonotoneAndBounded) {
+  sim::Simulation sim;
+  net::Medium medium;
+  net::BluetoothBus bus{medium};
+  phone::SmartPhone phone{sim, phone::Nokia6630(), "p"};
+  const auto node = medium.Register("p", {0, 0});
+  net::BluetoothController bt{sim, bus, phone, node};
+  const std::size_t n = GetParam();
+  EXPECT_GE(bt.WireBytes(n), n);
+  EXPECT_GE(bt.WireBytes(n + 1), bt.WireBytes(n));
+  // Overhead is bounded by one extra header per payload chunk.
+  const auto& p = phone.profile();
+  const std::size_t max_overhead =
+      (n / static_cast<std::size_t>(p.bt_segment_payload_bytes) + 1) *
+      static_cast<std::size_t>(p.bt_segment_overhead_bytes);
+  EXPECT_LE(bt.WireBytes(n) - n, max_overhead);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentationTest,
+                         ::testing::Values(1, 53, 95, 96, 97, 136, 192, 340,
+                                           1000, 4096));
+
+}  // namespace
+}  // namespace contory

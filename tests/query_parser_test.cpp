@@ -1,0 +1,296 @@
+// Unit tests for the context query language: lexer, parser, builder,
+// query object serialization.
+#include <gtest/gtest.h>
+
+#include "core/model/vocabulary.hpp"
+#include "core/query/lexer.hpp"
+#include "core/query/parser.hpp"
+#include "core/query/query.hpp"
+
+namespace contory::query {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LexerTest, TokenizesKeywordsCaseInsensitively) {
+  const auto tokens = Tokenize("select Temperature FROM adHocNetwork");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // + kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "Temperature");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  EXPECT_EQ((*tokens)[3].text, "adHocNetwork");
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  const auto tokens = Tokenize("accuracy<=0.2 value!=25");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 0.2);
+  EXPECT_EQ((*tokens)[4].text, "!=");
+  EXPECT_DOUBLE_EQ((*tokens)[5].number, 25.0);
+}
+
+TEST(LexerTest, StringsAndErrors) {
+  const auto ok = Tokenize("entity(\"friend-7\")");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*ok)[2].text, "friend-7");
+
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(ParserTest, PaperExampleQuery) {
+  // The exact example from Sec. 4.2.
+  const auto q = ParseQuery(
+      "SELECT temperature "
+      "FROM adHocNetwork(10,3) "
+      "WHERE accuracy=0.2 "
+      "FRESHNESS 30 sec "
+      "DURATION 1 hour "
+      "EVENT AVG(temperature)>25");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select_type, "temperature");
+  ASSERT_EQ(q->from.sources.size(), 1u);
+  EXPECT_EQ(q->from.sources[0].kind, SourceSel::kAdHocNetwork);
+  ASSERT_TRUE(q->from.sources[0].scope.has_value());
+  EXPECT_EQ(q->from.sources[0].scope->num_nodes, 10);
+  EXPECT_EQ(q->from.sources[0].scope->num_hops, 3);
+  ASSERT_TRUE(q->where.has_value());
+  EXPECT_EQ(q->where->comparison.field, "accuracy");
+  EXPECT_EQ(q->freshness, SimDuration{30s});
+  EXPECT_EQ(q->duration.time, SimDuration{1h});
+  ASSERT_TRUE(q->event.has_value());
+  EXPECT_EQ(q->event->comparison.aggregate, AggregateFn::kAvg);
+  EXPECT_EQ(q->event->comparison.field, "temperature");
+  EXPECT_EQ(q->mode(), InteractionMode::kEventBased);
+}
+
+TEST(ParserTest, MinimalQuery) {
+  const auto q = ParseQuery("SELECT location DURATION 10 sec");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->from.IsAuto());
+  EXPECT_EQ(q->mode(), InteractionMode::kOnDemand);
+}
+
+TEST(ParserTest, PeriodicQueryWithEvery) {
+  const auto q = ParseQuery(
+      "SELECT location FROM intSensor DURATION 2 hour EVERY 15sec");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->mode(), InteractionMode::kPeriodic);
+  EXPECT_EQ(q->every, SimDuration{15s});
+  EXPECT_EQ(q->from.sources[0].kind, SourceSel::kIntSensor);
+}
+
+TEST(ParserTest, AdHocAllNodes) {
+  const auto q = ParseQuery(
+      "SELECT temperature FROM adHocNetwork(all,3) DURATION 1 hour");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->from.sources[0].scope->all_nodes());
+  EXPECT_EQ(q->from.sources[0].scope->num_hops, 3);
+}
+
+TEST(ParserTest, AdHocDefaultScope) {
+  const auto q =
+      ParseQuery("SELECT temperature FROM adHocNetwork DURATION 1 min");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->from.sources[0].scope.has_value());
+  EXPECT_TRUE(q->from.sources[0].scope->all_nodes());
+  EXPECT_EQ(q->from.sources[0].scope->num_hops, 1);
+}
+
+TEST(ParserTest, SamplesDuration) {
+  const auto q = ParseQuery("SELECT speed DURATION 50 samples");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->duration.samples, 50);
+  EXPECT_FALSE(q->duration.time.has_value());
+}
+
+TEST(ParserTest, MultipleSources) {
+  const auto q = ParseQuery(
+      "SELECT wind FROM adHocNetwork(all,2), extInfra(\"infra.dynamos.fi\") "
+      "DURATION 1 hour EVERY 1 min");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->from.sources.size(), 2u);
+  EXPECT_EQ(q->from.sources[1].kind, SourceSel::kExtInfra);
+  EXPECT_EQ(q->from.sources[1].address, "infra.dynamos.fi");
+}
+
+TEST(ParserTest, RegionAndEntityDestinations) {
+  const auto q = ParseQuery(
+      "SELECT wind FROM extInfra region(60.1, 24.9, 5000) DURATION 10 min");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->from.sources[0].region.has_value());
+  EXPECT_DOUBLE_EQ(q->from.sources[0].region->center.lat, 60.1);
+  EXPECT_DOUBLE_EQ(q->from.sources[0].region->radius_m, 5000);
+
+  const auto q2 = ParseQuery(
+      "SELECT location FROM extInfra entity(\"friend-7\") DURATION 10 min");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->from.sources[0].entity->entity_id, "friend-7");
+}
+
+TEST(ParserTest, BooleanPredicates) {
+  const auto q = ParseQuery(
+      "SELECT temperature "
+      "WHERE accuracy<=0.5 AND (trust=trusted OR correctness>=0.9) "
+      "DURATION 1 hour");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->where.has_value());
+  EXPECT_EQ(q->where->kind, Predicate::Kind::kAnd);
+  ASSERT_EQ(q->where->children.size(), 2u);
+  EXPECT_EQ(q->where->children[1].kind, Predicate::Kind::kOr);
+}
+
+TEST(ParserTest, NotPredicate) {
+  const auto p = ParsePredicate("NOT activity=\"sleeping\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->kind, Predicate::Kind::kNot);
+}
+
+TEST(ParserTest, TimeUnits) {
+  for (const auto& [text, expected] :
+       std::vector<std::pair<std::string, SimDuration>>{
+           {"500 ms", 500ms},
+           {"30 sec", 30s},
+           {"30sec", 30s},
+           {"2 min", 2min},
+           {"1 hour", 1h},
+           {"90", 90s},  // default unit: seconds
+       }) {
+    const auto q =
+        ParseQuery("SELECT light DURATION 1 hour FRESHNESS " + text);
+    // FRESHNESS comes before DURATION in the grammar; rebuild properly:
+    const auto q2 = ParseQuery("SELECT light FRESHNESS " + text +
+                               " DURATION 1 hour");
+    ASSERT_TRUE(q2.ok()) << text;
+    EXPECT_EQ(q2->freshness, expected) << text;
+    (void)q;
+  }
+}
+
+TEST(ParserTest, ErrorsAreDescriptive) {
+  const auto missing_select = ParseQuery("DURATION 1 hour");
+  EXPECT_FALSE(missing_select.ok());
+  EXPECT_NE(missing_select.status().message().find("SELECT"),
+            std::string::npos);
+
+  const auto missing_duration = ParseQuery("SELECT temperature");
+  EXPECT_FALSE(missing_duration.ok());
+
+  const auto bad_source =
+      ParseQuery("SELECT t FROM teleport DURATION 1 hour");
+  EXPECT_FALSE(bad_source.ok());
+  EXPECT_NE(bad_source.status().message().find("teleport"),
+            std::string::npos);
+
+  const auto trailing = ParseQuery("SELECT t DURATION 1 hour banana");
+  EXPECT_FALSE(trailing.ok());
+}
+
+TEST(ParserTest, EveryAndEventCannotCombine) {
+  // Grammar only accepts one of EVERY/EVENT; the second becomes trailing
+  // input.
+  const auto q = ParseQuery(
+      "SELECT t DURATION 1 hour EVERY 10 sec EVENT AVG(t)>5");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, AggregateInWhereRejected) {
+  const auto q =
+      ParseQuery("SELECT t WHERE AVG(t)>5 DURATION 1 hour");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("EVENT"), std::string::npos);
+}
+
+TEST(QueryTest, ValidateCatchesBadCombos) {
+  CxtQuery q;
+  EXPECT_FALSE(q.Validate().ok());  // no SELECT
+  q.select_type = "temperature";
+  EXPECT_FALSE(q.Validate().ok());  // no DURATION
+  q.duration.time = SimDuration{1h};
+  EXPECT_TRUE(q.Validate().ok());
+  q.every = SimDuration{10s};
+  q.event = Predicate::Leaf({AggregateFn::kAvg, "t", CompareOp::kGt, 5.0});
+  EXPECT_FALSE(q.Validate().ok());  // both EVERY and EVENT
+}
+
+TEST(QueryTest, ToStringRoundTripsThroughParse) {
+  const auto q = ParseQuery(
+      "SELECT temperature FROM adHocNetwork(10,3) WHERE accuracy=0.2 "
+      "FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25");
+  ASSERT_TRUE(q.ok());
+  const auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString() << "\n" << q2.status().ToString();
+  EXPECT_EQ(q->select_type, q2->select_type);
+  EXPECT_EQ(q->from, q2->from);
+  EXPECT_EQ(q->where, q2->where);
+  EXPECT_EQ(q->freshness, q2->freshness);
+  EXPECT_EQ(q->duration, q2->duration);
+  EXPECT_EQ(q->event, q2->event);
+}
+
+TEST(QueryTest, SerializedSizeMatchesPaper) {
+  // "The size of a context query object is 205 bytes."
+  auto q = ParseQuery("SELECT temperature DURATION 1 hour");
+  ASSERT_TRUE(q.ok());
+  q->id = "q-1";
+  EXPECT_EQ(q->Serialize().size(), 205u);
+}
+
+TEST(QueryTest, SerializeDeserializeRoundTrip) {
+  auto q = ParseQuery(
+      "SELECT temperature FROM adHocNetwork(10,3), extInfra(\"i.fi\") "
+      "region(60.1,24.9,500) WHERE accuracy=0.2 AND trust>=1 "
+      "FRESHNESS 30 sec DURATION 1 hour EVENT AVG(temperature)>25");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  q->id = "q-7";
+  const auto back = CxtQuery::Deserialize(q->Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, *q);
+}
+
+TEST(QueryBuilderTest, BuildsPaperExample) {
+  const CxtQuery q = QueryBuilder(vocab::kTemperature)
+                         .FromAdHoc(10, 3)
+                         .WhereMeta("accuracy", CompareOp::kEq, 0.2)
+                         .Freshness(30s)
+                         .For(1h)
+                         .EventAggregate(AggregateFn::kAvg,
+                                         vocab::kTemperature,
+                                         CompareOp::kGt, 25.0)
+                         .Build();
+  EXPECT_EQ(q.select_type, "temperature");
+  EXPECT_EQ(q.from.sources[0].scope->num_hops, 3);
+  EXPECT_EQ(q.mode(), InteractionMode::kEventBased);
+}
+
+TEST(QueryBuilderTest, MultipleWhereTermsAreAnded) {
+  const CxtQuery q = QueryBuilder("light")
+                         .WhereMeta("accuracy", CompareOp::kLe, 0.5)
+                         .WhereMeta("trust", CompareOp::kGe, 1.0)
+                         .For(10min)
+                         .Build();
+  ASSERT_TRUE(q.where.has_value());
+  EXPECT_EQ(q.where->kind, Predicate::Kind::kAnd);
+}
+
+TEST(QueryBuilderTest, TargetsAttachToLastSource) {
+  const CxtQuery q = QueryBuilder("wind")
+                         .FromExtInfra("infra.fi")
+                         .TargetRegion({60.1, 24.9}, 5000)
+                         .For(10min)
+                         .Build();
+  ASSERT_TRUE(q.from.sources[0].region.has_value());
+}
+
+TEST(QueryBuilderTest, InvalidBuildThrows) {
+  EXPECT_THROW(QueryBuilder("t").Build(), std::invalid_argument);  // no dur
+  EXPECT_THROW(QueryBuilder("t").For(1h).Every(0s).Build(),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace contory::query

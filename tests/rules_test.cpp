@@ -1,0 +1,259 @@
+// Unit tests for the contextRules engine and the ResourcesMonitor's
+// monitored variables.
+#include <gtest/gtest.h>
+
+#include "core/resources_monitor.hpp"
+#include "core/rules.hpp"
+#include "phone/phone_profiles.hpp"
+#include "phone/smart_phone.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+VariableLookup FixedVars(
+    std::unordered_map<std::string, CxtValue> vars) {
+  return [vars = std::move(vars)](const std::string& name) -> Result<CxtValue> {
+    const auto it = vars.find(name);
+    if (it == vars.end()) return NotFound("no variable " + name);
+    return it->second;
+  };
+}
+
+TEST(RuleVocabularyTest, ParseOpsAndActions) {
+  EXPECT_EQ(ParseRuleOp("equal").value(), RuleOp::kEqual);
+  EXPECT_EQ(ParseRuleOp("notEqual").value(), RuleOp::kNotEqual);
+  EXPECT_EQ(ParseRuleOp("moreThan").value(), RuleOp::kMoreThan);
+  EXPECT_EQ(ParseRuleOp("lessThan").value(), RuleOp::kLessThan);
+  EXPECT_FALSE(ParseRuleOp("greaterEq").ok());
+
+  EXPECT_EQ(ParseRuleAction("reducePower").value(),
+            RuleAction::kReducePower);
+  EXPECT_EQ(ParseRuleAction("reduceMemory").value(),
+            RuleAction::kReduceMemory);
+  EXPECT_EQ(ParseRuleAction("reduceLoad").value(), RuleAction::kReduceLoad);
+  EXPECT_FALSE(ParseRuleAction("panic").ok());
+}
+
+TEST(RulesEngineTest, PaperExampleBatteryLow) {
+  // <batteryLevel, equal, low> -> reducePower.
+  RulesEngine engine;
+  ContextRule rule;
+  rule.name = "battery-low";
+  rule.condition =
+      RuleExpr::Leaf({"batteryLevel", RuleOp::kEqual, CxtValue{"low"}});
+  rule.action = RuleAction::kReducePower;
+  engine.AddRule(rule);
+
+  auto active = engine.Evaluate(FixedVars({{"batteryLevel", "low"}}));
+  EXPECT_TRUE(active.contains(RuleAction::kReducePower));
+
+  active = engine.Evaluate(FixedVars({{"batteryLevel", "high"}}));
+  EXPECT_TRUE(active.empty());
+}
+
+TEST(RulesEngineTest, NumericComparisons) {
+  RulesEngine engine;
+  ContextRule rule;
+  rule.condition =
+      RuleExpr::Leaf({"batteryPercent", RuleOp::kLessThan, CxtValue{20.0}});
+  rule.action = RuleAction::kReducePower;
+  engine.AddRule(rule);
+  EXPECT_FALSE(engine.Evaluate(FixedVars({{"batteryPercent", 50.0}}))
+                   .contains(RuleAction::kReducePower));
+  EXPECT_TRUE(engine.Evaluate(FixedVars({{"batteryPercent", 10.0}}))
+                  .contains(RuleAction::kReducePower));
+}
+
+TEST(RulesEngineTest, AndOrCombinators) {
+  const RuleExpr expr = RuleExpr::Or(
+      {RuleExpr::And(
+           {RuleExpr::Leaf({"batteryLevel", RuleOp::kEqual, CxtValue{"low"}}),
+            RuleExpr::Leaf(
+                {"activeQueries", RuleOp::kMoreThan, CxtValue{2.0}})}),
+       RuleExpr::Leaf({"memoryLevel", RuleOp::kEqual, CxtValue{"high"}})});
+
+  EXPECT_TRUE(RulesEngine::EvalExpr(
+      expr, FixedVars({{"batteryLevel", "low"},
+                       {"activeQueries", 3.0},
+                       {"memoryLevel", "low"}})));
+  EXPECT_TRUE(RulesEngine::EvalExpr(
+      expr, FixedVars({{"batteryLevel", "high"},
+                       {"activeQueries", 0.0},
+                       {"memoryLevel", "high"}})));
+  EXPECT_FALSE(RulesEngine::EvalExpr(
+      expr, FixedVars({{"batteryLevel", "low"},
+                       {"activeQueries", 1.0},
+                       {"memoryLevel", "medium"}})));
+}
+
+TEST(RulesEngineTest, MissingVariableIsFalseNotError) {
+  RulesEngine engine;
+  ContextRule rule;
+  rule.condition =
+      RuleExpr::Leaf({"unknownVar", RuleOp::kEqual, CxtValue{1.0}});
+  engine.AddRule(rule);
+  EXPECT_TRUE(engine.Evaluate(FixedVars({})).empty());
+}
+
+TEST(RulesEngineTest, MultipleRulesUnionActions) {
+  RulesEngine engine;
+  ContextRule a;
+  a.condition = RuleExpr::Leaf({"x", RuleOp::kMoreThan, CxtValue{0.0}});
+  a.action = RuleAction::kReducePower;
+  ContextRule b;
+  b.condition = RuleExpr::Leaf({"x", RuleOp::kMoreThan, CxtValue{10.0}});
+  b.action = RuleAction::kReduceMemory;
+  engine.AddRule(a);
+  engine.AddRule(b);
+  const auto active = engine.Evaluate(FixedVars({{"x", 20.0}}));
+  EXPECT_EQ(active.size(), 2u);
+}
+
+TEST(RulesEngineTest, BadExprConstructionThrows) {
+  EXPECT_THROW(RuleExpr::And({RuleExpr::Leaf({})}), std::invalid_argument);
+  EXPECT_THROW(RuleExpr::Or({}), std::invalid_argument);
+}
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_{5};
+  phone::SmartPhone phone_{sim_, phone::Nokia6630(), "phone"};
+  ResourcesMonitor monitor_{sim_, phone_};
+};
+
+TEST_F(MonitorTest, BatteryStartsFull) {
+  EXPECT_NEAR(monitor_.BatteryPercent(), 100.0, 1e-9);
+  EXPECT_EQ(monitor_.BatteryLevel(), "high");
+}
+
+TEST_F(MonitorTest, BatteryDrainsWithConsumption) {
+  // 12.9 kJ capacity; burn ~11 kJ -> below 20% ("low").
+  phone_.energy().AddEnergyJoules(11'000.0);
+  EXPECT_LT(monitor_.BatteryPercent(), 20.0);
+  EXPECT_EQ(monitor_.BatteryLevel(), "low");
+}
+
+TEST_F(MonitorTest, BatteryMediumBand) {
+  phone_.energy().AddEnergyJoules(8'000.0);  // ~38% left
+  EXPECT_EQ(monitor_.BatteryLevel(), "medium");
+}
+
+TEST_F(MonitorTest, LookupExposesVariables) {
+  EXPECT_TRUE(monitor_.Lookup("batteryPercent").ok());
+  EXPECT_TRUE(monitor_.Lookup("batteryLevel").ok());
+  EXPECT_TRUE(monitor_.Lookup("powerDraw").ok());
+  EXPECT_TRUE(monitor_.Lookup("memoryItems").ok());
+  EXPECT_TRUE(monitor_.Lookup("memoryLevel").ok());
+  EXPECT_TRUE(monitor_.Lookup("activeQueries").ok());
+  EXPECT_TRUE(monitor_.Lookup("activeProviders").ok());
+  EXPECT_FALSE(monitor_.Lookup("bogus").ok());
+}
+
+TEST_F(MonitorTest, GaugesFeedVariables) {
+  monitor_.SetMemoryGauge([] { return std::size_t{130}; });
+  monitor_.SetQueryGauge([] { return std::size_t{4}; });
+  EXPECT_EQ(monitor_.Lookup("memoryLevel")->AsString().value(), "high");
+  EXPECT_DOUBLE_EQ(monitor_.Lookup("activeQueries")->AsNumber().value(),
+                   4.0);
+}
+
+TEST_F(MonitorTest, ReferenceFailuresCounted) {
+  class FakeRef : public Reference {
+   public:
+    const char* name() const noexcept override { return "FakeRef"; }
+    bool Available() const override { return true; }
+    using Reference::NotifyFailure;
+  };
+  FakeRef ref;
+  monitor_.Attach(ref);
+  std::string failed_module;
+  monitor_.SetFailureHandler(
+      [&](const std::string& module, const std::string&) {
+        failed_module = module;
+      });
+  ref.NotifyFailure("boom");
+  EXPECT_EQ(monitor_.failures_observed(), 1u);
+  EXPECT_EQ(failed_module, "FakeRef");
+}
+
+TEST_F(MonitorTest, EndToEndWithRulesEngine) {
+  RulesEngine engine;
+  ContextRule rule;
+  rule.condition =
+      RuleExpr::Leaf({"batteryLevel", RuleOp::kEqual, CxtValue{"low"}});
+  rule.action = RuleAction::kReducePower;
+  engine.AddRule(rule);
+  EXPECT_TRUE(engine.Evaluate(monitor_.AsLookup()).empty());
+  phone_.energy().AddEnergyJoules(12'000.0);
+  EXPECT_TRUE(engine.Evaluate(monitor_.AsLookup())
+                  .contains(RuleAction::kReducePower));
+}
+
+
+TEST(RuleParserTest, ParsesSimpleRule) {
+  const auto rule = ParseContextRule("IF batteryLevel equal low THEN reducePower");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->action, RuleAction::kReducePower);
+  EXPECT_TRUE(RulesEngine::EvalExpr(rule->condition,
+                                    FixedVars({{"batteryLevel", "low"}})));
+  EXPECT_FALSE(RulesEngine::EvalExpr(rule->condition,
+                                     FixedVars({{"batteryLevel", "high"}})));
+}
+
+TEST(RuleParserTest, ParsesNumericAndChain) {
+  const auto rule = ParseContextRule(
+      "IF batteryPercent lessThan 20 AND activeQueries moreThan 2 "
+      "THEN reducePower");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(RulesEngine::EvalExpr(
+      rule->condition,
+      FixedVars({{"batteryPercent", 10.0}, {"activeQueries", 3.0}})));
+  EXPECT_FALSE(RulesEngine::EvalExpr(
+      rule->condition,
+      FixedVars({{"batteryPercent", 10.0}, {"activeQueries", 1.0}})));
+}
+
+TEST(RuleParserTest, OrBindsLooserThanAnd) {
+  const auto rule = ParseContextRule(
+      "IF a equal 1 AND b equal 1 OR c equal 1 THEN reduceLoad");
+  ASSERT_TRUE(rule.ok());
+  // (a AND b) OR c
+  EXPECT_TRUE(RulesEngine::EvalExpr(
+      rule->condition,
+      FixedVars({{"a", 0.0}, {"b", 0.0}, {"c", 1.0}})));
+  EXPECT_TRUE(RulesEngine::EvalExpr(
+      rule->condition,
+      FixedVars({{"a", 1.0}, {"b", 1.0}, {"c", 0.0}})));
+  EXPECT_FALSE(RulesEngine::EvalExpr(
+      rule->condition,
+      FixedVars({{"a", 1.0}, {"b", 0.0}, {"c", 0.0}})));
+}
+
+TEST(RuleParserTest, RejectsMalformedRules) {
+  EXPECT_FALSE(ParseContextRule("").ok());
+  EXPECT_FALSE(ParseContextRule("batteryLevel equal low").ok());
+  EXPECT_FALSE(ParseContextRule("IF batteryLevel equal THEN reducePower").ok());
+  EXPECT_FALSE(ParseContextRule("IF batteryLevel equals low THEN reducePower").ok());
+  EXPECT_FALSE(ParseContextRule("IF batteryLevel equal low THEN panic").ok());
+  EXPECT_FALSE(
+      ParseContextRule("IF batteryLevel equal low THEN reducePower extra").ok());
+  EXPECT_FALSE(ParseContextRule("IF a equal 1 AND THEN reduceLoad").ok());
+}
+
+TEST(RuleParserTest, ParsedRuleWorksInEngine) {
+  RulesEngine engine;
+  const auto rule = ParseContextRule(
+      "IF memoryLevel equal high OR memoryItems moreThan 100 "
+      "THEN reduceMemory");
+  ASSERT_TRUE(rule.ok());
+  engine.AddRule(*rule);
+  EXPECT_TRUE(engine.Evaluate(FixedVars({{"memoryLevel", "low"},
+                                         {"memoryItems", 130.0}}))
+                  .contains(RuleAction::kReduceMemory));
+}
+
+}  // namespace
+}  // namespace contory::core
