@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codecache.dir/ablation_codecache.cpp.o"
+  "CMakeFiles/ablation_codecache.dir/ablation_codecache.cpp.o.d"
+  "ablation_codecache"
+  "ablation_codecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

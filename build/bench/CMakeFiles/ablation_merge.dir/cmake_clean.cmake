@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge.dir/ablation_merge.cpp.o"
+  "CMakeFiles/ablation_merge.dir/ablation_merge.cpp.o.d"
+  "ablation_merge"
+  "ablation_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

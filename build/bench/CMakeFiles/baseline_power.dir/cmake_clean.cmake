@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_power.dir/baseline_power.cpp.o"
+  "CMakeFiles/baseline_power.dir/baseline_power.cpp.o.d"
+  "baseline_power"
+  "baseline_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_failover.dir/fig5_failover.cpp.o"
+  "CMakeFiles/fig5_failover.dir/fig5_failover.cpp.o.d"
+  "fig5_failover"
+  "fig5_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

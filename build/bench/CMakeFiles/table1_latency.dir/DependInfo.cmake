@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_latency.cpp" "bench/CMakeFiles/table1_latency.dir/table1_latency.cpp.o" "gcc" "bench/CMakeFiles/table1_latency.dir/table1_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

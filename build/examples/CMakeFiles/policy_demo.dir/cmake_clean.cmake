@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_demo.dir/policy_demo.cpp.o"
+  "CMakeFiles/policy_demo.dir/policy_demo.cpp.o.d"
+  "policy_demo"
+  "policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regatta_classifier.dir/regatta_classifier.cpp.o"
+  "CMakeFiles/regatta_classifier.dir/regatta_classifier.cpp.o.d"
+  "regatta_classifier"
+  "regatta_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regatta_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

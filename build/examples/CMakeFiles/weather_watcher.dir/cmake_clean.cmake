@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_watcher.dir/weather_watcher.cpp.o"
+  "CMakeFiles/weather_watcher.dir/weather_watcher.cpp.o.d"
+  "weather_watcher"
+  "weather_watcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_watcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/contory_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/id.cpp.o"
+  "CMakeFiles/contory_common.dir/common/id.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/logging.cpp.o"
+  "CMakeFiles/contory_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/rng.cpp.o"
+  "CMakeFiles/contory_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/stats.cpp.o"
+  "CMakeFiles/contory_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/status.cpp.o"
+  "CMakeFiles/contory_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/contory_common.dir/common/time.cpp.o"
+  "CMakeFiles/contory_common.dir/common/time.cpp.o.d"
+  "libcontory_common.a"
+  "libcontory_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_controller.cpp" "src/CMakeFiles/contory_core.dir/core/access_controller.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/access_controller.cpp.o.d"
+  "/root/repo/src/core/context_factory.cpp" "src/CMakeFiles/contory_core.dir/core/context_factory.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/context_factory.cpp.o.d"
+  "/root/repo/src/core/facade.cpp" "src/CMakeFiles/contory_core.dir/core/facade.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/facade.cpp.o.d"
+  "/root/repo/src/core/providers/adhoc_provider.cpp" "src/CMakeFiles/contory_core.dir/core/providers/adhoc_provider.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/providers/adhoc_provider.cpp.o.d"
+  "/root/repo/src/core/providers/aggregator.cpp" "src/CMakeFiles/contory_core.dir/core/providers/aggregator.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/providers/aggregator.cpp.o.d"
+  "/root/repo/src/core/providers/infra_provider.cpp" "src/CMakeFiles/contory_core.dir/core/providers/infra_provider.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/providers/infra_provider.cpp.o.d"
+  "/root/repo/src/core/providers/local_provider.cpp" "src/CMakeFiles/contory_core.dir/core/providers/local_provider.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/providers/local_provider.cpp.o.d"
+  "/root/repo/src/core/providers/provider.cpp" "src/CMakeFiles/contory_core.dir/core/providers/provider.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/providers/provider.cpp.o.d"
+  "/root/repo/src/core/publisher.cpp" "src/CMakeFiles/contory_core.dir/core/publisher.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/publisher.cpp.o.d"
+  "/root/repo/src/core/query_manager.cpp" "src/CMakeFiles/contory_core.dir/core/query_manager.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/query_manager.cpp.o.d"
+  "/root/repo/src/core/references/bt_reference.cpp" "src/CMakeFiles/contory_core.dir/core/references/bt_reference.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/references/bt_reference.cpp.o.d"
+  "/root/repo/src/core/references/cellular_reference.cpp" "src/CMakeFiles/contory_core.dir/core/references/cellular_reference.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/references/cellular_reference.cpp.o.d"
+  "/root/repo/src/core/references/internal_reference.cpp" "src/CMakeFiles/contory_core.dir/core/references/internal_reference.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/references/internal_reference.cpp.o.d"
+  "/root/repo/src/core/references/wifi_reference.cpp" "src/CMakeFiles/contory_core.dir/core/references/wifi_reference.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/references/wifi_reference.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/CMakeFiles/contory_core.dir/core/repository.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/repository.cpp.o.d"
+  "/root/repo/src/core/resources_monitor.cpp" "src/CMakeFiles/contory_core.dir/core/resources_monitor.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/resources_monitor.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/CMakeFiles/contory_core.dir/core/rules.cpp.o" "gcc" "src/CMakeFiles/contory_core.dir/core/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

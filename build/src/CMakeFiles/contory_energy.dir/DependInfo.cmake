@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/contory_energy.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/contory_energy.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/contory_energy.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/contory_energy.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/power_meter.cpp" "src/CMakeFiles/contory_energy.dir/energy/power_meter.cpp.o" "gcc" "src/CMakeFiles/contory_energy.dir/energy/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

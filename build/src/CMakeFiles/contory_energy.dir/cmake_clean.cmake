@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_energy.dir/energy/battery.cpp.o"
+  "CMakeFiles/contory_energy.dir/energy/battery.cpp.o.d"
+  "CMakeFiles/contory_energy.dir/energy/energy_model.cpp.o"
+  "CMakeFiles/contory_energy.dir/energy/energy_model.cpp.o.d"
+  "CMakeFiles/contory_energy.dir/energy/power_meter.cpp.o"
+  "CMakeFiles/contory_energy.dir/energy/power_meter.cpp.o.d"
+  "libcontory_energy.a"
+  "libcontory_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

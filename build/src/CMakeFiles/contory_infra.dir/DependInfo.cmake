@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/context_server.cpp" "src/CMakeFiles/contory_infra.dir/infra/context_server.cpp.o" "gcc" "src/CMakeFiles/contory_infra.dir/infra/context_server.cpp.o.d"
+  "/root/repo/src/infra/event_broker.cpp" "src/CMakeFiles/contory_infra.dir/infra/event_broker.cpp.o" "gcc" "src/CMakeFiles/contory_infra.dir/infra/event_broker.cpp.o.d"
+  "/root/repo/src/infra/regatta_service.cpp" "src/CMakeFiles/contory_infra.dir/infra/regatta_service.cpp.o" "gcc" "src/CMakeFiles/contory_infra.dir/infra/regatta_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_infra.dir/infra/context_server.cpp.o"
+  "CMakeFiles/contory_infra.dir/infra/context_server.cpp.o.d"
+  "CMakeFiles/contory_infra.dir/infra/event_broker.cpp.o"
+  "CMakeFiles/contory_infra.dir/infra/event_broker.cpp.o.d"
+  "CMakeFiles/contory_infra.dir/infra/regatta_service.cpp.o"
+  "CMakeFiles/contory_infra.dir/infra/regatta_service.cpp.o.d"
+  "libcontory_infra.a"
+  "libcontory_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

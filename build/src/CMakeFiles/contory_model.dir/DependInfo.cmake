@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model/cxt_item.cpp" "src/CMakeFiles/contory_model.dir/core/model/cxt_item.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/model/cxt_item.cpp.o.d"
+  "/root/repo/src/core/model/cxt_value.cpp" "src/CMakeFiles/contory_model.dir/core/model/cxt_value.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/model/cxt_value.cpp.o.d"
+  "/root/repo/src/core/model/metadata.cpp" "src/CMakeFiles/contory_model.dir/core/model/metadata.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/model/metadata.cpp.o.d"
+  "/root/repo/src/core/model/vocabulary.cpp" "src/CMakeFiles/contory_model.dir/core/model/vocabulary.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/model/vocabulary.cpp.o.d"
+  "/root/repo/src/core/query/ast.cpp" "src/CMakeFiles/contory_model.dir/core/query/ast.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/ast.cpp.o.d"
+  "/root/repo/src/core/query/lexer.cpp" "src/CMakeFiles/contory_model.dir/core/query/lexer.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/lexer.cpp.o.d"
+  "/root/repo/src/core/query/merge.cpp" "src/CMakeFiles/contory_model.dir/core/query/merge.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/merge.cpp.o.d"
+  "/root/repo/src/core/query/parser.cpp" "src/CMakeFiles/contory_model.dir/core/query/parser.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/parser.cpp.o.d"
+  "/root/repo/src/core/query/predicate.cpp" "src/CMakeFiles/contory_model.dir/core/query/predicate.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/predicate.cpp.o.d"
+  "/root/repo/src/core/query/query.cpp" "src/CMakeFiles/contory_model.dir/core/query/query.cpp.o" "gcc" "src/CMakeFiles/contory_model.dir/core/query/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_model.dir/core/model/cxt_item.cpp.o"
+  "CMakeFiles/contory_model.dir/core/model/cxt_item.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/model/cxt_value.cpp.o"
+  "CMakeFiles/contory_model.dir/core/model/cxt_value.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/model/metadata.cpp.o"
+  "CMakeFiles/contory_model.dir/core/model/metadata.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/model/vocabulary.cpp.o"
+  "CMakeFiles/contory_model.dir/core/model/vocabulary.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/ast.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/ast.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/lexer.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/lexer.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/merge.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/merge.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/parser.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/parser.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/predicate.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/predicate.cpp.o.d"
+  "CMakeFiles/contory_model.dir/core/query/query.cpp.o"
+  "CMakeFiles/contory_model.dir/core/query/query.cpp.o.d"
+  "libcontory_model.a"
+  "libcontory_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

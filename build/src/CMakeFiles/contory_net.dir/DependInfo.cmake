@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bluetooth.cpp" "src/CMakeFiles/contory_net.dir/net/bluetooth.cpp.o" "gcc" "src/CMakeFiles/contory_net.dir/net/bluetooth.cpp.o.d"
+  "/root/repo/src/net/cellular.cpp" "src/CMakeFiles/contory_net.dir/net/cellular.cpp.o" "gcc" "src/CMakeFiles/contory_net.dir/net/cellular.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/CMakeFiles/contory_net.dir/net/medium.cpp.o" "gcc" "src/CMakeFiles/contory_net.dir/net/medium.cpp.o.d"
+  "/root/repo/src/net/wifi.cpp" "src/CMakeFiles/contory_net.dir/net/wifi.cpp.o" "gcc" "src/CMakeFiles/contory_net.dir/net/wifi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_net.dir/net/bluetooth.cpp.o"
+  "CMakeFiles/contory_net.dir/net/bluetooth.cpp.o.d"
+  "CMakeFiles/contory_net.dir/net/cellular.cpp.o"
+  "CMakeFiles/contory_net.dir/net/cellular.cpp.o.d"
+  "CMakeFiles/contory_net.dir/net/medium.cpp.o"
+  "CMakeFiles/contory_net.dir/net/medium.cpp.o.d"
+  "CMakeFiles/contory_net.dir/net/wifi.cpp.o"
+  "CMakeFiles/contory_net.dir/net/wifi.cpp.o.d"
+  "libcontory_net.a"
+  "libcontory_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

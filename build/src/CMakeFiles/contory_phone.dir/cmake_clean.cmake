@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_phone.dir/phone/phone_profiles.cpp.o"
+  "CMakeFiles/contory_phone.dir/phone/phone_profiles.cpp.o.d"
+  "CMakeFiles/contory_phone.dir/phone/smart_phone.cpp.o"
+  "CMakeFiles/contory_phone.dir/phone/smart_phone.cpp.o.d"
+  "libcontory_phone.a"
+  "libcontory_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_sensors.dir/sensors/environment.cpp.o"
+  "CMakeFiles/contory_sensors.dir/sensors/environment.cpp.o.d"
+  "CMakeFiles/contory_sensors.dir/sensors/gps.cpp.o"
+  "CMakeFiles/contory_sensors.dir/sensors/gps.cpp.o.d"
+  "CMakeFiles/contory_sensors.dir/sensors/sensor.cpp.o"
+  "CMakeFiles/contory_sensors.dir/sensors/sensor.cpp.o.d"
+  "libcontory_sensors.a"
+  "libcontory_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

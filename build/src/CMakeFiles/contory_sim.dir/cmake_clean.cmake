@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/contory_sim.dir/sim/simulation.cpp.o.d"
+  "libcontory_sim.a"
+  "libcontory_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_sm.dir/sm/sm_runtime.cpp.o"
+  "CMakeFiles/contory_sm.dir/sm/sm_runtime.cpp.o.d"
+  "CMakeFiles/contory_sm.dir/sm/smart_message.cpp.o"
+  "CMakeFiles/contory_sm.dir/sm/smart_message.cpp.o.d"
+  "CMakeFiles/contory_sm.dir/sm/tag_space.cpp.o"
+  "CMakeFiles/contory_sm.dir/sm/tag_space.cpp.o.d"
+  "libcontory_sm.a"
+  "libcontory_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contory_testbed.dir/testbed/testbed.cpp.o"
+  "CMakeFiles/contory_testbed.dir/testbed/testbed.cpp.o.d"
+  "libcontory_testbed.a"
+  "libcontory_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contory_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_test.dir/cellular_test.cpp.o"
+  "CMakeFiles/cellular_test.dir/cellular_test.cpp.o.d"
+  "cellular_test"
+  "cellular_test.pdb"
+  "cellular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

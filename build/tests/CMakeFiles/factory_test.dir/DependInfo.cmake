@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/factory_test.cpp" "tests/CMakeFiles/factory_test.dir/factory_test.cpp.o" "gcc" "tests/CMakeFiles/factory_test.dir/factory_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/contory_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/contory_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

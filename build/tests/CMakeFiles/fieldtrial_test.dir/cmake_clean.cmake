@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldtrial_test.dir/fieldtrial_test.cpp.o"
+  "CMakeFiles/fieldtrial_test.dir/fieldtrial_test.cpp.o.d"
+  "fieldtrial_test"
+  "fieldtrial_test.pdb"
+  "fieldtrial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldtrial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

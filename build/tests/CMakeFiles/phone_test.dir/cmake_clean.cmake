@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_test.dir/phone_test.cpp.o"
+  "CMakeFiles/phone_test.dir/phone_test.cpp.o.d"
+  "phone_test"
+  "phone_test.pdb"
+  "phone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repository_test.dir/repository_test.cpp.o"
+  "CMakeFiles/repository_test.dir/repository_test.cpp.o.d"
+  "repository_test"
+  "repository_test.pdb"
+  "repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/phone_test[1]_include.cmake")
+include("/root/repo/build/tests/bluetooth_test[1]_include.cmake")
+include("/root/repo/build/tests/wifi_test[1]_include.cmake")
+include("/root/repo/build/tests/cellular_test[1]_include.cmake")
+include("/root/repo/build/tests/sm_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/query_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build/tests/infra_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/access_test[1]_include.cmake")
+include("/root/repo/build/tests/repository_test[1]_include.cmake")
+include("/root/repo/build/tests/provider_test[1]_include.cmake")
+include("/root/repo/build/tests/facade_test[1]_include.cmake")
+include("/root/repo/build/tests/factory_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_test[1]_include.cmake")
+include("/root/repo/build/tests/fieldtrial_test[1]_include.cmake")
+include("/root/repo/build/tests/publisher_test[1]_include.cmake")
