@@ -44,4 +44,57 @@ void PrintTable(const std::string& title, const std::string& value_header,
   }
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key,
+                            const std::string& value) {
+  fields_.emplace_back(key, '"' + JsonEscape(value) + '"');
+  return *this;
+}
+
+std::string JsonObject::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"' + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+std::string ToJsonArray(const std::vector<JsonObject>& rows) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "  " + rows[i].ToString();
+    if (i + 1 < rows.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
 }  // namespace contory::bench

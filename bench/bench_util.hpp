@@ -30,4 +30,19 @@ void PrintHeading(const std::string& text);
 /// Formats a RunningStats the way the paper's tables do.
 [[nodiscard]] std::string Cell(const RunningStats& stats, int precision = 3);
 
+/// Minimal machine-readable output: one flat JSON object with fields in
+/// insertion order (deterministic across runs, diffable in CI).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+};
+
+/// Renders rows as a JSON array, one object per line.
+[[nodiscard]] std::string ToJsonArray(const std::vector<JsonObject>& rows);
+
 }  // namespace contory::bench

@@ -81,6 +81,8 @@ std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
   Client* client = record != nullptr ? record->client : nullptr;
   switch (kind) {
     case query::SourceSel::kIntSensor:
+      // No retry policy: a vanished sensor is not transient, and an
+      // immediate escalation preserves the Fig. 5 failover timing.
       return std::make_unique<LocalCxtProvider>(
           *services_.sim, std::move(q), std::move(callbacks), internal_ref_,
           bt_ref_, access_, client);
@@ -91,19 +93,23 @@ std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
           address = src.address;
         }
       }
-      return std::make_unique<InfraCxtProvider>(
+      auto provider = std::make_unique<InfraCxtProvider>(
           *services_.sim, std::move(q), std::move(callbacks), cell_ref_,
           std::move(address));
+      provider->ConfigureRetry(config_.retry);
+      return provider;
     }
     case query::SourceSel::kAdHocNetwork: {
       const AdHocTransport transport =
           active_actions_.contains(RuleAction::kReducePower)
               ? AdHocTransport::kForceBt
               : AdHocTransport::kAuto;
-      return std::make_unique<AdHocCxtProvider>(
+      auto provider = std::make_unique<AdHocCxtProvider>(
           *services_.sim, std::move(q), std::move(callbacks), bt_ref_,
           wifi_ref_, access_, client, transport,
           config_.adhoc_finder_retries);
+      provider->ConfigureRetry(config_.retry);
+      return provider;
     }
     case query::SourceSel::kAuto:
       break;
@@ -254,6 +260,7 @@ void ContextFactory::CancelCxtQuery(const std::string& query_id) {
     facades_.at(kind)->Cancel(query_id);
   }
   recovery_probes_.erase(query_id);
+  degraded_tasks_.erase(query_id);
   aggregators_.erase(query_id);
   query_manager_.Remove(query_id);
 }
@@ -297,6 +304,7 @@ void ContextFactory::OnFinished(query::SourceSel kind,
     // facade still serves it.
     if (record->assigned.empty()) {
       recovery_probes_.erase(query_id);
+      degraded_tasks_.erase(query_id);
       aggregators_.erase(query_id);
       query_manager_.Remove(query_id);
     }
@@ -316,6 +324,11 @@ void ContextFactory::TryFailover(QueryRecord& record,
   // AdHocLocationProvider".
   const auto replacement = SelectMechanism(record.query, record.failed);
   if (!replacement.ok()) {
+    // Last resort before erroring out: serve whatever the repository
+    // still holds, annotated with its age.
+    if (config_.enable_degraded_mode && EnterDegradedMode(record, status)) {
+      return;
+    }
     if (record.client != nullptr) {
       record.client->InformError("query " + record.query.id +
                                  " lost its provisioning mechanism (" +
@@ -442,6 +455,104 @@ void ContextFactory::ProbeRecovery(const std::string& query_id) {
                                       preferred});
     recovery_probes_.erase(query_id);
   }
+}
+
+bool ContextFactory::EnterDegradedMode(QueryRecord& record,
+                                       const Status& cause) {
+  if (record.client == nullptr) return false;
+  if (record.degraded) return true;
+  const std::string id = record.query.id;
+  if (!repository_.Latest(record.query.select_type).ok()) {
+    return false;  // nothing cached: a stale answer is not possible
+  }
+  record.degraded = true;
+  CLOG_INFO(kModule, "query %s degraded (%s): serving stale repository data",
+            id.c_str(), cause.ToString().c_str());
+  record.client->InformError("query " + id +
+                             " degraded to stale repository data (" +
+                             cause.ToString() +
+                             "); no live provisioning mechanism");
+  if (record.query.mode() == query::InteractionMode::kOnDemand) {
+    // One stale answer completes an on-demand round.
+    DeliverDegraded(id);
+    recovery_probes_.erase(id);
+    query_manager_.Remove(id);
+    return true;
+  }
+  SimDuration period = config_.degraded_poll_period;
+  if (period <= SimDuration::zero()) {
+    period = record.query.every.value_or(std::chrono::seconds{5});
+  }
+  degraded_tasks_[id] = std::make_unique<sim::PeriodicTask>(
+      *services_.sim, period, [this, id] { DeliverDegraded(id); });
+  // First stale answer now, not one period from now.
+  DeliverDegraded(id);
+  recovery_probes_[id] = std::make_unique<sim::PeriodicTask>(
+      *services_.sim, config_.recovery_probe_period,
+      [this, id] { ProbeDegradedRecovery(id); });
+  return true;
+}
+
+void ContextFactory::DeliverDegraded(const std::string& query_id) {
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr || !record->degraded || record->client == nullptr) {
+    degraded_tasks_.erase(query_id);
+    return;
+  }
+  // The DURATION clause keeps its meaning while degraded.
+  if (record->query.duration.time.has_value() &&
+      services_.sim->Now() >=
+          record->submitted + *record->query.duration.time) {
+    degraded_tasks_.erase(query_id);
+    recovery_probes_.erase(query_id);
+    query_manager_.Remove(query_id);
+    return;
+  }
+  auto item = repository_.Latest(record->query.select_type);
+  if (!item.ok()) return;  // cache expired under us; the probe keeps trying
+  item->metadata.staleness_seconds =
+      ToSeconds(services_.sim->Now() - item->timestamp);
+  ++degraded_deliveries_;
+  ++record->items_delivered;
+  record->client->ReceiveCxtItem(*item);
+}
+
+void ContextFactory::ProbeDegradedRecovery(const std::string& query_id) {
+  QueryRecord* record = query_manager_.Find(query_id);
+  if (record == nullptr || !record->degraded) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  // While degraded, any live mechanism beats stale data: reconsider them
+  // all, including ones that failed earlier.
+  const auto kind = SelectMechanism(record->query, {});
+  if (!kind.ok()) return;  // everything still down
+  if (!AssignToFacade(*record, *kind).ok()) return;  // next probe retries
+  record->degraded = false;
+  record->failed.clear();
+  degraded_tasks_.erase(query_id);
+  // `from` approximates: degraded mode has no SourceSel of its own.
+  switch_log_.push_back(
+      SwitchEvent{services_.sim->Now(), query_id, record->preferred, *kind});
+  CLOG_INFO(kModule, "query %s recovered from degraded mode to %s",
+            query_id.c_str(), query::SourceSelName(*kind));
+  record->client->InformError(std::string("provisioning restored to ") +
+                              query::SourceSelName(*kind) +
+                              " after degraded mode");
+  recovery_probes_.erase(query_id);  // safe: PeriodicTask survives this
+}
+
+bool ContextFactory::IsDegraded(const std::string& query_id) const {
+  const QueryRecord* record = query_manager_.Find(query_id);
+  return record != nullptr && record->degraded;
+}
+
+std::uint64_t ContextFactory::total_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& [kind, facade] : facades_) {
+    n += facade->retries_observed();
+  }
+  return n;
 }
 
 Status ContextFactory::PublishCxtItem(const CxtItem& item, bool publish,

@@ -24,6 +24,7 @@
 #include <set>
 #include <string>
 
+#include "common/retry.hpp"
 #include "core/access_controller.hpp"
 #include "core/client.hpp"
 #include "core/device_services.hpp"
@@ -59,6 +60,17 @@ struct ContextFactoryConfig {
   int adhoc_finder_retries = 1;
   /// Disables query merging entirely (ablation benches).
   bool enable_query_merging = true;
+  /// Retry/backoff policy providers apply to transient transport failures
+  /// (coverage gaps, broker outages, radio flaps) before escalating to
+  /// failover. Set max_attempts = 1 to disable retries.
+  RetryPolicyConfig retry;
+  /// When failover has nowhere left to go, answer from the local
+  /// repository with explicit staleness metadata instead of erroring,
+  /// probing for recovery in the background.
+  bool enable_degraded_mode = true;
+  /// Delivery period while degraded; zero means the query's EVERY (or 5 s
+  /// when the query names none).
+  SimDuration degraded_poll_period = SimDuration::zero();
 };
 
 class ContextFactory {
@@ -144,6 +156,16 @@ class ContextFactory {
     return switch_log_;
   }
 
+  /// True while `query_id` is served from the local repository because no
+  /// mechanism is live.
+  [[nodiscard]] bool IsDegraded(const std::string& query_id) const;
+  /// Stale items handed out by degraded mode so far.
+  [[nodiscard]] std::uint64_t degraded_deliveries() const noexcept {
+    return degraded_deliveries_;
+  }
+  /// Transient-failure retries across all facades' providers.
+  [[nodiscard]] std::uint64_t total_retries() const;
+
  private:
   void WireReferences();
   void BuildFacades();
@@ -170,6 +192,13 @@ class ContextFactory {
   void StartRecoveryProbe(const std::string& query_id);
   void ProbeRecovery(const std::string& query_id);
 
+  /// Degraded mode: serve stale repository data when every mechanism is
+  /// down. Returns false when there is nothing cached to serve (the caller
+  /// falls back to the hard error path).
+  bool EnterDegradedMode(QueryRecord& record, const Status& cause);
+  void DeliverDegraded(const std::string& query_id);
+  void ProbeDegradedRecovery(const std::string& query_id);
+
   void EvaluatePolicies();
   void EnforceReducePower();
   void EnforceReduceMemory();
@@ -195,6 +224,8 @@ class ContextFactory {
   std::set<RuleAction> active_actions_;
   std::unique_ptr<sim::PeriodicTask> policy_task_;
   std::map<std::string, std::unique_ptr<sim::PeriodicTask>> recovery_probes_;
+  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> degraded_tasks_;
+  std::uint64_t degraded_deliveries_ = 0;
   std::vector<SwitchEvent> switch_log_;
   /// Per-query fusion aggregators (EnableFusion-style API could extend
   /// this; pass-through dedup is handled by the QueryManager).

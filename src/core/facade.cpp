@@ -37,7 +37,9 @@ Status Facade::StartCluster(Cluster& cluster) {
     return Internal("provider factory returned null");
   }
   ++providers_created_;
+  starting_ = &cluster;
   cluster.provider->Start();
+  starting_ = nullptr;
   return Status::Ok();
 }
 
@@ -84,6 +86,24 @@ void Facade::OnProviderDelivery(Cluster& cluster, const CxtItem& item) {
 void Facade::OnProviderFinished(Cluster& cluster, const Status& status) {
   if (cluster.dead) return;
   cluster.dead = true;
+  if (&cluster == starting_) {
+    // The provider failed from inside its own Start() (e.g. a cached but
+    // empty discovery answers synchronously), so Submit() is still on the
+    // caller's stack. Reporting now would let the factory's failover
+    // logic run reentrantly against a half-updated query record; move
+    // the notification to a fresh event instead.
+    sim_.ScheduleAfter(SimDuration::zero(),
+                       [this, life = life_, originals = cluster.originals,
+                        status]() {
+                         if (!*life || !finished_) return;
+                         for (const auto& original : originals) {
+                           finished_(original.id, status);
+                         }
+                       },
+                       "facade.finish");
+    ScheduleReap();
+    return;
+  }
   if (finished_) {
     for (const auto& original : cluster.originals) {
       finished_(original.id, status);
@@ -100,6 +120,11 @@ void Facade::ScheduleReap() {
   sim_.ScheduleAfter(SimDuration::zero(), [this, life = life_] {
     if (!*life) return;
     reap_scheduled_ = false;
+    for (const auto& c : clusters_) {
+      if (c->dead && c->provider != nullptr) {
+        retries_reaped_ += c->provider->retries_attempted();
+      }
+    }
     std::erase_if(clusters_, [](const std::unique_ptr<Cluster>& c) {
       return c->dead;
     });
@@ -156,6 +181,16 @@ std::size_t Facade::active_original_count() const {
   std::size_t n = 0;
   for (const auto& cluster : clusters_) {
     if (!cluster->dead) n += cluster->originals.size();
+  }
+  return n;
+}
+
+std::uint64_t Facade::retries_observed() const {
+  std::uint64_t n = retries_reaped_;
+  for (const auto& cluster : clusters_) {
+    if (cluster->provider != nullptr) {
+      n += cluster->provider->retries_attempted();
+    }
   }
   return n;
 }

@@ -67,6 +67,9 @@ class Facade {
   [[nodiscard]] std::uint64_t providers_created() const noexcept {
     return providers_created_;
   }
+  /// Transient-failure retries performed by this facade's providers,
+  /// reaped and live (robustness diagnostics).
+  [[nodiscard]] std::uint64_t retries_observed() const;
 
  private:
   struct Cluster {
@@ -89,8 +92,13 @@ class Facade {
   Delivery delivery_;
   Finished finished_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
+  /// Non-null while the named cluster's provider is inside Start(); a
+  /// finish arriving then is deferred to a fresh event (see
+  /// OnProviderFinished).
+  Cluster* starting_ = nullptr;
   bool reap_scheduled_ = false;
   std::uint64_t providers_created_ = 0;
+  std::uint64_t retries_reaped_ = 0;
   std::shared_ptr<bool> life_ = std::make_shared<bool>(true);
 };
 

@@ -6,9 +6,9 @@
 namespace contory {
 namespace {
 
-constexpr std::array<const char*, 6> kFields = {
-    "correctness", "precision", "accuracy", "completeness", "privacy",
-    "trust"};
+constexpr std::array<const char*, 7> kFields = {
+    "correctness", "precision", "accuracy", "completeness", "staleness",
+    "privacy", "trust"};
 
 std::optional<std::uint8_t> EncodeOptional(std::optional<double> v) {
   return v.has_value() ? std::optional<std::uint8_t>{1}
@@ -51,6 +51,7 @@ Result<double> Metadata::GetNumeric(const std::string& field) const {
   if (field == "precision") return numeric(precision);
   if (field == "accuracy") return numeric(accuracy);
   if (field == "completeness") return numeric(completeness);
+  if (field == "staleness") return numeric(staleness_seconds);
   if (field == "privacy") return static_cast<double>(privacy);
   if (field == "trust") return static_cast<double>(trust);
   return InvalidArgument("unknown metadata field '" + field + "'");
@@ -65,6 +66,8 @@ Status Metadata::SetNumeric(const std::string& field, double value) {
     accuracy = value;
   } else if (field == "completeness") {
     completeness = value;
+  } else if (field == "staleness") {
+    staleness_seconds = value;
   } else if (field == "privacy") {
     privacy = static_cast<PrivacyLevel>(static_cast<int>(value));
   } else if (field == "trust") {
@@ -113,6 +116,7 @@ std::string Metadata::ToString() const {
   if (precision) append("precision", *precision);
   if (accuracy) append("accuracy", *accuracy);
   if (completeness) append("completeness", *completeness);
+  if (staleness_seconds) append("staleness", *staleness_seconds);
   if (privacy != PrivacyLevel::kPublic) {
     if (!out.empty()) out += ',';
     out += "privacy=";
@@ -127,6 +131,9 @@ std::string Metadata::ToString() const {
 }
 
 void Metadata::Encode(ByteWriter& w) const {
+  // staleness_seconds is intentionally not encoded: it is a local-only
+  // annotation stamped at delivery time (degraded mode), and widening the
+  // wire format would change every calibrated envelope size.
   for (const auto& field :
        {correctness, precision, accuracy, completeness}) {
     w.WriteU8(*EncodeOptional(field));

@@ -30,6 +30,12 @@ struct Metadata {
   std::optional<double> accuracy;
   /// Fraction of the described information that is known, in [0,1].
   std::optional<double> completeness;
+  /// Age of the observation at delivery time, in seconds. Set only by the
+  /// factory's degraded mode when it answers from the local repository
+  /// instead of a live mechanism; items served live leave it unset.
+  /// Local-only annotation: not part of the wire encoding (a degraded
+  /// answer never leaves the device).
+  std::optional<double> staleness_seconds;
   PrivacyLevel privacy = PrivacyLevel::kPublic;
   TrustLevel trust = TrustLevel::kUnknown;
 

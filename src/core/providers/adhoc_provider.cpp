@@ -307,14 +307,26 @@ void AdHocCxtProvider::BtStart() {
           Fail(Unavailable("all ad hoc BT providers disconnected"));
         }
       });
+  BtDiscover();
+}
+
+void AdHocCxtProvider::BtDiscover() {
   bt_.Discover(kDiscoveryMaxAge,
                [this, life = life_](
                    Result<std::vector<net::BtDeviceInfo>> devices) {
                  if (!*life || !running()) return;
                  if (!devices.ok()) {
+                   // A failed inquiry is usually a radio flap or an
+                   // interference burst: back off and re-run discovery
+                   // before abandoning the mechanism.
+                   if (RetryTransient(devices.status(),
+                                      [this] { BtDiscover(); })) {
+                     return;
+                   }
                    Fail(devices.status());
                    return;
                  }
+                 RetrySucceeded();
                  const query::AdHocScope scope = Scope();
                  const int budget =
                      scope.all_nodes() ? -1 : scope.num_nodes;
@@ -361,6 +373,13 @@ void AdHocCxtProvider::BtRoundDone() {
   first_round_done_ = true;
   if (!running()) return;
   if (query().mode() == query::InteractionMode::kOnDemand) {
+    if (bt_providers_found_ == 0) {
+      // Completing "successfully" with zero results would end the query
+      // without giving the factory a chance to fail over (or serve a
+      // degraded answer); report the empty neighborhood instead.
+      Fail(NotFound("no BT peers publish '" + query().select_type + "'"));
+      return;
+    }
     CompleteOk();
     return;
   }

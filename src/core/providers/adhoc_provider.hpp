@@ -102,6 +102,7 @@ class AdHocCxtProvider final : public CxtProvider {
 
   // --- BT transport -----------------------------------------------------
   void BtStart();
+  void BtDiscover();
   void BtDiscoverProviders(std::vector<net::BtDeviceInfo> devices,
                            std::size_t index, int budget);
   void BtRoundDone();

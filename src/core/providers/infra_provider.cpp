@@ -74,9 +74,15 @@ void InfraCxtProvider::RunOnDemand() {
       [this, life = life_](Result<std::vector<std::byte>> response) {
         if (!*life || !running()) return;
         if (!response.ok()) {
+          // Coverage gaps and server outages surface as transient errors:
+          // back off and re-issue the whole round before giving up.
+          if (RetryTransient(response.status(), [this] { RunOnDemand(); })) {
+            return;
+          }
           Fail(response.status());
           return;
         }
+        RetrySucceeded();
         ByteReader r{*response};
         const auto ok = r.ReadU8();
         if (!ok.ok() || *ok != 1) {
@@ -97,7 +103,8 @@ void InfraCxtProvider::RunOnDemand() {
           Offer(*std::move(item));
         }
         if (running()) CompleteOk();
-      });
+      },
+      AttemptTimeout());
 }
 
 void InfraCxtProvider::RegisterLongRunning() {
@@ -108,9 +115,14 @@ void InfraCxtProvider::RegisterLongRunning() {
       [this, life = life_](Result<std::vector<std::byte>> response) {
         if (!*life || !running()) return;
         if (!response.ok()) {
+          if (RetryTransient(response.status(),
+                             [this] { RegisterLongRunning(); })) {
+            return;
+          }
           Fail(response.status());
           return;
         }
+        RetrySucceeded();
         ByteReader r{*response};
         const auto ok = r.ReadU8();
         if (!ok.ok() || *ok != 1) {
@@ -120,7 +132,8 @@ void InfraCxtProvider::RegisterLongRunning() {
         registered_ = true;
         CLOG_DEBUG(kModule, "query %s registered at %s", query().id.c_str(),
                    infra_address_.c_str());
-      });
+      },
+      AttemptTimeout());
 }
 
 void InfraCxtProvider::HandlePush(const infra::Event& event) {

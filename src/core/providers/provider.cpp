@@ -15,7 +15,10 @@ CxtProvider::CxtProvider(sim::Simulation& sim, query::CxtQuery query,
   }
 }
 
-CxtProvider::~CxtProvider() { sim_.Cancel(duration_timer_); }
+CxtProvider::~CxtProvider() {
+  sim_.Cancel(duration_timer_);
+  sim_.Cancel(retry_timer_);
+}
 
 void CxtProvider::Start() {
   if (running_) return;
@@ -35,7 +38,42 @@ void CxtProvider::Stop() {
   running_ = false;
   sim_.Cancel(duration_timer_);
   duration_timer_ = sim::kInvalidTimer;
+  sim_.Cancel(retry_timer_);
+  retry_timer_ = sim::kInvalidTimer;
   DoStop();
+}
+
+void CxtProvider::ConfigureRetry(const RetryPolicyConfig& config) {
+  // Fork the retry rng off the simulation stream so backoff jitter is
+  // deterministic per seed without perturbing other consumers.
+  retry_state_.emplace(config, sim_.rng().Fork());
+}
+
+bool CxtProvider::RetryTransient(const Status& cause,
+                                 std::function<void()> attempt) {
+  if (!running_ || !retry_state_.has_value() || !IsTransient(cause)) {
+    return false;
+  }
+  const auto backoff = retry_state_->NextBackoff(sim_.Now());
+  if (!backoff.ok()) return false;  // budget or deadline spent: escalate
+  ++retries_;
+  CLOG_DEBUG("provider", "%s %s retry #%llu in %s after: %s", transport(),
+             query_.id.c_str(), static_cast<unsigned long long>(retries_),
+             FormatDuration(*backoff).c_str(), cause.ToString().c_str());
+  sim_.Cancel(retry_timer_);
+  retry_timer_ = sim_.ScheduleAfter(
+      *backoff,
+      [this, attempt = std::move(attempt)] {
+        retry_timer_ = sim::kInvalidTimer;
+        if (running_) attempt();
+      },
+      "provider.retry");
+  return true;
+}
+
+SimDuration CxtProvider::AttemptTimeout() const noexcept {
+  if (retry_state_.has_value()) return retry_state_->config().attempt_timeout;
+  return std::chrono::seconds{30};
 }
 
 void CxtProvider::UpdateQuery(query::CxtQuery query) {

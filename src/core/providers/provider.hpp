@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "common/retry.hpp"
 #include "common/status.hpp"
 #include "core/model/cxt_item.hpp"
 #include "core/query/query.hpp"
@@ -58,6 +60,12 @@ class CxtProvider {
   /// timer and informs the subclass (rate changes etc.).
   void UpdateQuery(query::CxtQuery query);
 
+  /// Arms the transient-failure retry policy: transports that report a
+  /// retryable failure through RetryTransient() back off and re-attempt
+  /// (seeded jitter, bounded budget) before escalating Fail() to the
+  /// factory. Providers without a configured policy never retry.
+  void ConfigureRetry(const RetryPolicyConfig& config);
+
   [[nodiscard]] const query::CxtQuery& query() const noexcept {
     return query_;
   }
@@ -66,6 +74,10 @@ class CxtProvider {
   }
   [[nodiscard]] std::uint64_t items_offered() const noexcept {
     return offered_;
+  }
+  /// Transient-failure retries scheduled so far (diagnostics, benches).
+  [[nodiscard]] std::uint64_t retries_attempted() const noexcept {
+    return retries_;
   }
 
  protected:
@@ -87,6 +99,22 @@ class CxtProvider {
   /// finished(status).
   void Fail(Status status);
 
+  /// If `cause` is transient and the configured retry policy allows
+  /// another attempt, schedules `attempt` after the next backoff and
+  /// returns true (the caller should simply return). Otherwise returns
+  /// false and the caller escalates with Fail(cause).
+  bool RetryTransient(const Status& cause, std::function<void()> attempt);
+
+  /// Per-attempt transport timeout from the retry policy (the transport
+  /// default when no policy is configured).
+  [[nodiscard]] SimDuration AttemptTimeout() const noexcept;
+
+  /// Marks the current attempt successful: a later transient failure
+  /// starts over with a fresh retry budget.
+  void RetrySucceeded() noexcept {
+    if (retry_state_.has_value()) retry_state_->Reset();
+  }
+
   /// On-demand round complete: stops and calls finished(Ok).
   void CompleteOk();
 
@@ -107,6 +135,9 @@ class CxtProvider {
   bool running_ = false;
   bool finished_ = false;
   sim::TimerId duration_timer_ = sim::kInvalidTimer;
+  sim::TimerId retry_timer_ = sim::kInvalidTimer;
+  std::optional<RetryState> retry_state_;
+  std::uint64_t retries_ = 0;
   std::deque<CxtItem> event_window_;
   std::uint64_t delivered_ = 0;
   std::uint64_t offered_ = 0;

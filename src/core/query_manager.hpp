@@ -30,6 +30,9 @@ struct QueryRecord {
   std::set<query::SourceSel> failed;
   /// The mechanism the factory preferred originally (switch-back target).
   query::SourceSel preferred = query::SourceSel::kAuto;
+  /// True while no mechanism is live and the factory answers from the
+  /// local repository with staleness metadata (graceful degradation).
+  bool degraded = false;
   SimTime submitted{};
   std::uint64_t items_delivered = 0;
   /// Ids of items already delivered (cross-facade dedup), bounded.

@@ -19,7 +19,8 @@ CellularReference::CellularReference(net::CellularModem* modem)
 
 void CellularReference::SendRequest(
     const std::string& address, std::vector<std::byte> request,
-    std::function<void(Result<std::vector<std::byte>>)> done) {
+    std::function<void(Result<std::vector<std::byte>>)> done,
+    SimDuration timeout) {
   if (modem_ == nullptr) {
     if (done) done(Unavailable("device has no cellular module"));
     return;
@@ -31,7 +32,8 @@ void CellularReference::SendRequest(
           NotifyFailure("cellular request failed: " + r.status().ToString());
         }
         if (done) done(std::move(r));
-      });
+      },
+      timeout);
 }
 
 void CellularReference::SetTopicHandler(const std::string& topic,

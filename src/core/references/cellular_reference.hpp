@@ -31,9 +31,11 @@ class CellularReference final : public Reference {
   [[nodiscard]] net::CellularModem* modem() noexcept { return modem_; }
 
   /// Sends a request; failures are additionally reported to the
-  /// ResourcesMonitor (they often mean coverage loss).
+  /// ResourcesMonitor (they often mean coverage loss). `timeout` bounds
+  /// the exchange (retry policies pass their per-attempt budget here).
   void SendRequest(const std::string& address, std::vector<std::byte> request,
-                   std::function<void(Result<std::vector<std::byte>>)> done);
+                   std::function<void(Result<std::vector<std::byte>>)> done,
+                   SimDuration timeout = std::chrono::seconds{30});
 
   // --- Event-based interface ---------------------------------------------
   using TopicHandler = std::function<void(const infra::Event&)>;

@@ -1,0 +1,203 @@
+#include "fault/fault_plan.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace contory::fault {
+namespace {
+
+constexpr std::array<std::pair<FaultKind, const char*>, 14> kKindNames = {{
+    {FaultKind::kBtFail, "bt.fail"},
+    {FaultKind::kBtLoss, "bt.loss"},
+    {FaultKind::kBtLatency, "bt.latency"},
+    {FaultKind::kWifiFail, "wifi.fail"},
+    {FaultKind::kWifiLoss, "wifi.loss"},
+    {FaultKind::kWifiLatency, "wifi.latency"},
+    {FaultKind::kCellOff, "cell.off"},
+    {FaultKind::kCellConnectFail, "cell.connectfail"},
+    {FaultKind::kCellAbort, "cell.abort"},
+    {FaultKind::kBrokerOutage, "broker.outage"},
+    {FaultKind::kSensorFail, "sensor.fail"},
+    {FaultKind::kSensorNan, "sensor.nan"},
+    {FaultKind::kGpsOff, "gps.off"},
+    {FaultKind::kNodeLeave, "node.leave"},
+}};
+
+/// Does this kind carry a rate= / ms= argument?
+bool KindTakesParam(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kBtLoss:
+    case FaultKind::kBtLatency:
+    case FaultKind::kWifiLoss:
+    case FaultKind::kWifiLatency:
+    case FaultKind::kCellConnectFail:
+    case FaultKind::kCellAbort:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<double> ParseNumber(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) return InvalidArgument("bad number '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    return InvalidArgument("bad number '" + s + "'");
+  }
+}
+
+std::string FormatScheduleDuration(SimDuration d) {
+  char buf[48];
+  if (d.count() % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(d.count() / 1'000'000));
+  } else if (d.count() % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(d.count() / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(d.count()));
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) noexcept {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+Result<FaultKind> FaultKindFromName(const std::string& name) {
+  for (const auto& [k, n] : kKindNames) {
+    if (name == n) return k;
+  }
+  return InvalidArgument("unknown fault kind '" + name + "'");
+}
+
+Result<SimDuration> ParseScheduleDuration(const std::string& token) {
+  std::size_t split = 0;
+  while (split < token.size() &&
+         (std::isdigit(static_cast<unsigned char>(token[split])) != 0 ||
+          token[split] == '.' || token[split] == '-')) {
+    ++split;
+  }
+  if (split == 0 || split == token.size()) {
+    return InvalidArgument("duration '" + token +
+                           "' needs a number and a unit suffix");
+  }
+  const auto number = ParseNumber(token.substr(0, split));
+  if (!number.ok()) return number.status();
+  if (*number < 0) return InvalidArgument("negative duration '" + token + "'");
+  const std::string unit = token.substr(split);
+  if (unit == "us") return SimDuration{static_cast<std::int64_t>(*number)};
+  if (unit == "ms") return FromMillis(*number);
+  if (unit == "s" || unit == "sec") return FromSeconds(*number);
+  if (unit == "min") return FromSeconds(*number * 60.0);
+  if (unit == "h") return FromSeconds(*number * 3600.0);
+  return InvalidArgument("unknown duration unit '" + unit + "'");
+}
+
+std::string FaultAction::ToString() const {
+  std::string out = "at=" + FormatScheduleDuration(at.time_since_epoch());
+  out += ' ';
+  out += FaultKindName(kind);
+  out += ' ';
+  out += target;
+  if (duration > SimDuration::zero()) {
+    out += " for=" + FormatScheduleDuration(duration);
+  }
+  if (KindTakesParam(kind)) {
+    char buf[48];
+    const bool is_latency =
+        kind == FaultKind::kBtLatency || kind == FaultKind::kWifiLatency;
+    std::snprintf(buf, sizeof buf, " %s=%g", is_latency ? "ms" : "rate",
+                  param);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FaultPlan::ToText() const {
+  std::string out;
+  for (const FaultAction& a : actions_) {
+    out += a.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines{text};
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& msg) {
+    return InvalidArgument("fault plan line " + std::to_string(line_no) +
+                           ": " + msg);
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream tokens{line};
+    std::vector<std::string> parts;
+    std::string tok;
+    while (tokens >> tok) {
+      if (tok[0] == '#') break;  // trailing comment
+      parts.push_back(tok);
+    }
+    if (parts.empty()) continue;
+    if (parts.size() < 3) {
+      return fail("expected 'at=<dur> <kind> <target> ...'");
+    }
+    if (parts[0].rfind("at=", 0) != 0) {
+      return fail("missing at= prefix in '" + parts[0] + "'");
+    }
+    const auto at = ParseScheduleDuration(parts[0].substr(3));
+    if (!at.ok()) return fail(at.status().message());
+    const auto kind = FaultKindFromName(parts[1]);
+    if (!kind.ok()) return fail(kind.status().message());
+    FaultAction action;
+    action.at = kSimEpoch + *at;
+    action.kind = *kind;
+    action.target = parts[2];
+    bool saw_param = false;
+    for (std::size_t i = 3; i < parts.size(); ++i) {
+      const std::string& p = parts[i];
+      if (p.rfind("for=", 0) == 0) {
+        const auto d = ParseScheduleDuration(p.substr(4));
+        if (!d.ok()) return fail(d.status().message());
+        action.duration = *d;
+      } else if (p.rfind("rate=", 0) == 0) {
+        const auto v = ParseNumber(p.substr(5));
+        if (!v.ok()) return fail(v.status().message());
+        if (*v < 0.0 || *v > 1.0) return fail("rate out of [0,1]");
+        action.param = *v;
+        saw_param = true;
+      } else if (p.rfind("ms=", 0) == 0) {
+        const auto v = ParseNumber(p.substr(3));
+        if (!v.ok()) return fail(v.status().message());
+        if (*v < 0.0) return fail("negative ms value");
+        action.param = *v;
+        saw_param = true;
+      } else {
+        return fail("unknown argument '" + p + "'");
+      }
+    }
+    if (KindTakesParam(*kind) && !saw_param) {
+      return fail(std::string(FaultKindName(*kind)) +
+                  " needs a rate= or ms= argument");
+    }
+    plan.Add(std::move(action));
+  }
+  return plan;
+}
+
+}  // namespace contory::fault

@@ -1,0 +1,100 @@
+// Scripted fault schedules.
+//
+// A FaultPlan is a deterministic list of timed fault actions — radio
+// flaps, packet-loss windows, latency spikes, infrastructure outages,
+// sensor dropouts, node churn — that a FaultInjector replays against a
+// running simulation. Plans are built programmatically or parsed from a
+// small line-oriented schedule language:
+//
+//   # Fig. 5 with an infrastructure outage layered on top
+//   at=155s gps.off gps-1 for=145s
+//   at=160s broker.outage infra.dynamos.fi for=60s
+//   at=160s bt.loss phone-A rate=0.3 for=2min
+//   at=200s cell.abort phone-A rate=0.5 for=30s
+//   at=240s node.leave boat-7
+//
+// Grammar per non-comment line:
+//   at=<dur> <kind> <target> [for=<dur>] [rate=<num>] [ms=<num>]
+// where <dur> is a number with a unit suffix (us, ms, s, sec, min, h).
+// `for=` opens a window: the fault is applied at `at` and reverted at
+// `at`+`for`; without it the action is permanent (or intrinsically
+// one-shot, like node.leave).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace contory::fault {
+
+enum class FaultKind : std::uint8_t {
+  kBtFail,          // bt.fail: BT radio vanishes from the air
+  kBtLoss,          // bt.loss: fraction of BT payloads lost (rate=)
+  kBtLatency,       // bt.latency: extra per-transfer delay (ms=)
+  kWifiFail,        // wifi.fail
+  kWifiLoss,        // wifi.loss (rate=)
+  kWifiLatency,     // wifi.latency (ms=)
+  kCellOff,         // cell.off: GSM/UMTS radio powered down
+  kCellConnectFail, // cell.connectfail: connect attempts fail (rate=)
+  kCellAbort,       // cell.abort: in-flight transfers abort (rate=)
+  kBrokerOutage,    // broker.outage: server swallows requests
+  kSensorFail,      // sensor.fail: internal sensor returns errors
+  kSensorNan,       // sensor.nan: internal sensor emits NaN samples
+  kGpsOff,          // gps.off: BT-GPS powered down (Fig. 5)
+  kNodeLeave,       // node.leave: node unregisters from the medium
+};
+
+[[nodiscard]] const char* FaultKindName(FaultKind kind) noexcept;
+[[nodiscard]] Result<FaultKind> FaultKindFromName(const std::string& name);
+
+struct FaultAction {
+  SimTime at{};
+  FaultKind kind = FaultKind::kBtFail;
+  /// Registered target name: a device/radio name, a sensor address, an
+  /// infrastructure address, or a GPS name — resolved by the injector.
+  std::string target;
+  /// Window length; zero means permanent (node.leave is always permanent).
+  SimDuration duration = SimDuration::zero();
+  /// rate= or ms= argument, kind-dependent.
+  double param = 0.0;
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& Add(FaultAction action) {
+    actions_.push_back(std::move(action));
+    return *this;
+  }
+
+  /// Convenience builder: a windowed fault.
+  FaultPlan& Window(SimTime at, FaultKind kind, std::string target,
+                    SimDuration duration, double param = 0.0) {
+    return Add({at, kind, std::move(target), duration, param});
+  }
+
+  [[nodiscard]] const std::vector<FaultAction>& actions() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
+
+  /// Renders the plan back into the schedule language.
+  [[nodiscard]] std::string ToText() const;
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+/// Parses the schedule language; fails with line-numbered diagnostics.
+[[nodiscard]] Result<FaultPlan> ParseFaultPlan(const std::string& text);
+
+/// Parses "250ms", "13s", "2.5min", ... (unit suffix required).
+[[nodiscard]] Result<SimDuration> ParseScheduleDuration(
+    const std::string& token);
+
+}  // namespace contory::fault

@@ -131,6 +131,7 @@ std::vector<CxtItem> ContextServer::Evaluate(const query::CxtQuery& q) const {
 }
 
 void ContextServer::PushResults(Registration& reg) {
+  if (outage_) return;
   const auto items = Evaluate(reg.query);
   if (items.empty()) return;
   ByteWriter w;
@@ -182,6 +183,12 @@ void ContextServer::ExpireRegistrations() {
 void ContextServer::HandleRequest(net::NodeId from,
                                   const std::vector<std::byte>& request,
                                   net::CellularNetwork::Respond respond) {
+  if (outage_) {
+    // Dropping `respond` leaves the client's exchange to time out.
+    ++dropped_requests_;
+    CLOG_DEBUG(kModule, "outage: dropping request from node %u", from);
+    return;
+  }
   ByteReader r{request};
   const auto op = r.ReadU8();
   if (!op.ok()) {

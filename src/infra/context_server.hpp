@@ -81,6 +81,16 @@ class ContextServer {
     return registrations_.size();
   }
 
+  /// Fault injection: while down, incoming requests are swallowed without
+  /// a response (clients time out — a transient, retryable failure) and
+  /// registered-query pushes are suppressed. Registrations and stored
+  /// items survive the outage.
+  void SetOutage(bool down) noexcept { outage_ = down; }
+  [[nodiscard]] bool in_outage() const noexcept { return outage_; }
+  [[nodiscard]] std::uint64_t dropped_requests() const noexcept {
+    return dropped_requests_;
+  }
+
   /// Does `stored` match query `q` at time `now` (type, freshness, WHERE,
   /// region/entity destinations)? Exposed for tests.
   [[nodiscard]] static bool Matches(const query::CxtQuery& q,
@@ -109,6 +119,8 @@ class ContextServer {
   std::unordered_map<std::string, std::deque<StoredItem>> repo_;
   std::size_t count_ = 0;
   std::unordered_map<std::string, Registration> registrations_;
+  bool outage_ = false;
+  std::uint64_t dropped_requests_ = 0;
 };
 
 }  // namespace contory::infra

@@ -81,6 +81,12 @@ std::size_t EventBroker::SubscriberCount(const std::string& topic) const {
 void EventBroker::HandleRequest(net::NodeId from,
                                 const std::vector<std::byte>& request,
                                 net::CellularNetwork::Respond respond) {
+  if (outage_) {
+    // Dropping `respond` leaves the client's exchange to time out.
+    ++dropped_requests_;
+    CLOG_DEBUG(kModule, "outage: dropping request from node %u", from);
+    return;
+  }
   ByteReader r{request};
   const auto op = r.ReadU8();
   if (!op.ok()) {

@@ -59,6 +59,15 @@ class EventBroker {
     return events_published_;
   }
 
+  /// Fault injection: while down, incoming requests are swallowed without
+  /// a response, so clients observe a transport timeout (a transient,
+  /// retryable kDeadlineExceeded) rather than an application error.
+  void SetOutage(bool down) noexcept { outage_ = down; }
+  [[nodiscard]] bool in_outage() const noexcept { return outage_; }
+  [[nodiscard]] std::uint64_t dropped_requests() const noexcept {
+    return dropped_requests_;
+  }
+
  private:
   void HandleRequest(net::NodeId from, const std::vector<std::byte>& request,
                      net::CellularNetwork::Respond respond);
@@ -68,6 +77,8 @@ class EventBroker {
   std::string address_;
   std::unordered_map<std::string, std::vector<net::NodeId>> subscribers_;
   std::uint64_t events_published_ = 0;
+  bool outage_ = false;
+  std::uint64_t dropped_requests_ = 0;
 };
 
 /// Client-side helper bound to one modem: publish and subscribe with the

@@ -242,10 +242,15 @@ void BluetoothController::Send(BtLinkId link, std::vector<std::byte> payload,
   }
 
   BluetoothController* peer = bus_.Find(peer_id);
-  // Office-environment noise: a few percent jitter on the air time.
-  const SimDuration air = SimDuration{static_cast<std::int64_t>(
-      phone_.rng().Jitter(
-          static_cast<double>(TransferTime(payload.size()).count()), 0.04))};
+  // Office-environment noise: a few percent jitter on the air time, plus
+  // any injected latency spike.
+  const SimDuration air =
+      SimDuration{static_cast<std::int64_t>(phone_.rng().Jitter(
+          static_cast<double>(TransferTime(payload.size()).count()), 0.04))} +
+      extra_latency_;
+  // Injected packet loss. Drawn only when a loss window is active so the
+  // rng stream of loss-free runs is unchanged.
+  const bool lost = loss_rate_ > 0.0 && phone_.rng().Bernoulli(loss_rate_);
   // Per-segment radio overhead on both endpoints.
   const auto segments = static_cast<double>(
       (payload.size() + phone_.profile().bt_segment_payload_bytes - 1) /
@@ -258,13 +263,13 @@ void BluetoothController::Send(BtLinkId link, std::vector<std::byte> payload,
   peer->BeginTransferPower();
   sim_.ScheduleAfter(
       air,
-      [this, peer_id, peer_link, link, payload = std::move(payload),
+      [this, peer_id, peer_link, link, lost, payload = std::move(payload),
        delivered = std::move(delivered)]() mutable {
         EndTransferPower();
         BluetoothController* peer = bus_.Find(peer_id);
         if (peer != nullptr) {
           peer->EndTransferPower();
-          if (peer->enabled()) {
+          if (!lost && peer->enabled()) {
             const auto lk = peer->links_.find(peer_link);
             if (lk != peer->links_.end() && lk->second.alive &&
                 peer->data_handler_) {
@@ -273,6 +278,10 @@ void BluetoothController::Send(BtLinkId link, std::vector<std::byte> payload,
           }
         }
         if (delivered) {
+          if (lost) {
+            delivered(Unavailable("payload lost in the air"));
+            return;
+          }
           const bool ok = peer != nullptr && peer->enabled() &&
                           links_.contains(link);
           delivered(ok ? Status::Ok()

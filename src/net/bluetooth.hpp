@@ -97,6 +97,19 @@ class BluetoothController {
   void SetFailed(bool failed);
   [[nodiscard]] bool failed() const noexcept { return failed_; }
 
+  /// Fault injection: fraction of outgoing payloads lost in the air.
+  /// The radio still burns the air time and segment energy; the peer's
+  /// data handler is never invoked and `delivered` reports kUnavailable.
+  void SetLossRate(double rate) noexcept { loss_rate_ = rate; }
+  [[nodiscard]] double loss_rate() const noexcept { return loss_rate_; }
+
+  /// Fault injection: extra latency added to every outgoing transfer
+  /// (interference / co-channel contention spikes).
+  void SetExtraLatency(SimDuration extra) noexcept { extra_latency_ = extra; }
+  [[nodiscard]] SimDuration extra_latency() const noexcept {
+    return extra_latency_;
+  }
+
   // --- Inquiry (device discovery) ---------------------------------------
   using InquiryCallback =
       std::function<void(Result<std::vector<BtDeviceInfo>>)>;
@@ -187,6 +200,8 @@ class BluetoothController {
   bool enabled_ = false;
   bool failed_ = false;
   bool inquiry_active_ = false;
+  double loss_rate_ = 0.0;
+  SimDuration extra_latency_ = SimDuration::zero();
 
   std::map<ServiceHandle, ServiceRecord> sddb_;
   ServiceHandle next_service_ = 1;

@@ -231,6 +231,18 @@ void CellularModem::SendRequest(
     // Uplink air time, then server turnaround, then the server's reply
     // comes back over the downlink.
     const SimDuration uplink = TransferTime(request.size());
+    // Injected mid-transfer abort: the bearer drops partway through the
+    // uplink (handover). Drawn only when an abort window is active so the
+    // rng stream of fault-free runs is unchanged.
+    if (transfer_abort_rate_ > 0.0 &&
+        phone_.rng().Bernoulli(transfer_abort_rate_)) {
+      const auto partial = SimDuration{static_cast<std::int64_t>(
+          static_cast<double>(uplink.count()) * phone_.rng().NextDouble())};
+      sim_.ScheduleAfter(partial, [finish] {
+        finish(Unavailable("bearer lost mid-transfer (handover)"));
+      }, "cell.abort");
+      return;
+    }
     sim_.ScheduleAfter(
         uplink + phone_.profile().cell_server_turnaround,
         [this, handler, request = std::move(request), finish]() mutable {

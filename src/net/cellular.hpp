@@ -92,6 +92,21 @@ class CellularModem {
   void SetConnectFailureRate(double rate) noexcept {
     connect_failure_rate_ = rate;
   }
+  [[nodiscard]] double connect_failure_rate() const noexcept {
+    return connect_failure_rate_;
+  }
+
+  /// Failure injection: fraction of in-flight request exchanges that abort
+  /// mid-transfer (bearer drop during a handover). Unlike the connect
+  /// failure above, this hits sends that already reached DCH, so callers
+  /// see kUnavailable partway through the uplink — the case provider
+  /// retry policies must absorb.
+  void SetTransferAbortRate(double rate) noexcept {
+    transfer_abort_rate_ = rate;
+  }
+  [[nodiscard]] double transfer_abort_rate() const noexcept {
+    return transfer_abort_rate_;
+  }
 
   /// Sends `request` to the server at `address` and reports the response
   /// (or failure) via `done`. Latency and energy follow the RRC machine:
@@ -129,6 +144,7 @@ class CellularModem {
   bool radio_on_ = false;
   RrcState state_ = RrcState::kIdle;
   double connect_failure_rate_ = 0.0;
+  double transfer_abort_rate_ = 0.0;
   PushHandler push_handler_;
   std::deque<std::function<void(Status)>> connect_waiters_;
   int in_flight_ = 0;  // active request/push exchanges (defer decay)

@@ -68,7 +68,15 @@ std::vector<NodeId> Medium::NodesWithin(
     const double d = Distance(*cpos, info.pos);
     if (d <= range_m && (!filter || filter(id))) hits.emplace_back(d, id);
   }
-  std::sort(hits.begin(), hits.end());
+  // Deterministic order: nearest first, distance ties broken by ascending
+  // NodeId (spelled out, not left to pair's lexicographic operator<, so
+  // the contract survives refactors of the hit representation).
+  std::sort(hits.begin(), hits.end(),
+            [](const std::pair<double, NodeId>& a,
+               const std::pair<double, NodeId>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
   std::vector<NodeId> out;
   out.reserve(hits.size());
   for (const auto& [d, id] : hits) out.push_back(id);

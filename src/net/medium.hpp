@@ -47,8 +47,9 @@ class Medium {
   /// True when both exist and are within `range_m` of each other.
   [[nodiscard]] bool InRange(NodeId a, NodeId b, double range_m) const;
 
-  /// All other nodes within `range_m` of `center`, nearest first
-  /// (deterministic order). Optionally filtered by a predicate.
+  /// All other nodes within `range_m` of `center`, nearest first; exact
+  /// distance ties break by ascending NodeId (deterministic order even
+  /// for equidistant peers). Optionally filtered by a predicate.
   [[nodiscard]] std::vector<NodeId> NodesWithin(
       NodeId center, double range_m,
       const std::function<bool(NodeId)>& filter = {}) const;

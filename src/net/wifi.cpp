@@ -78,16 +78,25 @@ void WifiController::SendFrame(NodeId to, std::vector<std::byte> payload,
                                " is not a wifi neighbor"));
     return;
   }
-  // Office-environment noise: a few percent jitter on the air time.
-  const SimDuration latency = SimDuration{static_cast<std::int64_t>(
-      phone_.rng().Jitter(
+  // Office-environment noise: a few percent jitter on the air time, plus
+  // any injected latency spike.
+  const SimDuration latency =
+      SimDuration{static_cast<std::int64_t>(phone_.rng().Jitter(
           static_cast<double>((phone_.profile().wifi_connect_latency +
                                TransferTime(payload.size()))
                                   .count()),
-          0.04))};
+          0.04))} +
+      extra_latency_;
+  // Injected frame loss. Drawn only when a loss window is active so the
+  // rng stream of loss-free runs is unchanged.
+  const bool lost = loss_rate_ > 0.0 && phone_.rng().Bernoulli(loss_rate_);
   sim_.ScheduleAfter(
       latency,
-      [this, to, payload = std::move(payload), done = std::move(done)] {
+      [this, to, lost, payload = std::move(payload), done = std::move(done)] {
+        if (lost) {
+          if (done) done(Unavailable("frame lost in the air"));
+          return;
+        }
         WifiController* peer = bus_.Find(to);
         if (peer == nullptr || !peer->enabled() || !IsNeighbor(to)) {
           if (done) done(Unavailable("peer lost during transfer"));

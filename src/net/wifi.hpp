@@ -73,6 +73,17 @@ class WifiController {
   /// Failure injection (node crash / out of battery).
   void SetFailed(bool failed);
 
+  /// Fault injection: fraction of outgoing frames lost in the air (the
+  /// air time is still spent; `done` reports kUnavailable).
+  void SetLossRate(double rate) noexcept { loss_rate_ = rate; }
+  [[nodiscard]] double loss_rate() const noexcept { return loss_rate_; }
+
+  /// Fault injection: extra latency added to every outgoing frame.
+  void SetExtraLatency(SimDuration extra) noexcept { extra_latency_ = extra; }
+  [[nodiscard]] SimDuration extra_latency() const noexcept {
+    return extra_latency_;
+  }
+
   /// Enabled WiFi nodes currently in radio range, nearest first.
   [[nodiscard]] std::vector<NodeId> Neighbors() const;
   [[nodiscard]] bool IsNeighbor(NodeId other) const;
@@ -101,6 +112,8 @@ class WifiController {
   WifiConfig config_;
   bool enabled_ = false;
   bool failed_ = false;
+  double loss_rate_ = 0.0;
+  SimDuration extra_latency_ = SimDuration::zero();
   FrameHandler frame_handler_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "core/model/vocabulary.hpp"
@@ -86,7 +87,7 @@ Result<CxtItem> EnvironmentSensor::Sample() {
   CxtItem item;
   item.id = sim_.ids().NextId("item");
   item.type = type_;
-  item.value = *value;
+  item.value = nan_burst_ ? std::numeric_limits<double>::quiet_NaN() : *value;
   item.timestamp = sim_.Now();
   item.source = {SourceKind::kIntSensor, address_};
   item.metadata = metadata_;

@@ -70,8 +70,16 @@ class EnvironmentSensor final : public CxtSource {
   }
   [[nodiscard]] Result<CxtItem> Sample() override;
 
-  /// Failure injection.
+  /// Failure injection: Sample() returns kUnavailable.
   void SetFailed(bool failed) noexcept { failed_ = failed; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Fault injection: the sensor keeps "working" but every sample carries
+  /// a NaN value — the half-broken-hardware case that, unlike a clean
+  /// failure, flows through delivery pipelines until a predicate or a
+  /// consumer chokes on it.
+  void SetNanBurst(bool active) noexcept { nan_burst_ = active; }
+  [[nodiscard]] bool nan_burst() const noexcept { return nan_burst_; }
 
   /// Metadata stamped on produced items (accuracy defaults to the field's
   /// noise sigma).
@@ -86,6 +94,7 @@ class EnvironmentSensor final : public CxtSource {
   std::string address_;
   Metadata metadata_;
   bool failed_ = false;
+  bool nan_burst_ = false;
 };
 
 }  // namespace contory::sensors

@@ -7,7 +7,8 @@ World::World(std::uint64_t seed)
       bt_bus_(medium_),
       wifi_bus_(medium_),
       cellular_(sim_),
-      environment_(sim_) {}
+      environment_(sim_),
+      injector_(sim_) {}
 
 World::~World() = default;
 
@@ -24,6 +25,8 @@ sensors::GpsDevice& World::AddGps(const std::string& name,
       std::make_unique<sensors::GpsDevice>(sim_, bt_bus_, node, name,
                                            config));
   gps_devices_.back()->PowerOn();
+  injector_.RegisterGps(name, *gps_devices_.back());
+  injector_.RegisterNode(name, medium_, node);
   return *gps_devices_.back();
 }
 
@@ -32,12 +35,18 @@ infra::ContextServer& World::AddContextServer(
   servers_.push_back(
       std::make_unique<infra::ContextServer>(sim_, cellular_, address,
                                              config));
+  infra::ContextServer* server = servers_.back().get();
+  injector_.RegisterOutageSwitch(
+      address, [server](bool down) { server->SetOutage(down); });
   return *servers_.back();
 }
 
 infra::EventBroker& World::AddEventBroker(const std::string& address) {
   brokers_.push_back(
       std::make_unique<infra::EventBroker>(sim_, cellular_, address));
+  infra::EventBroker* broker = brokers_.back().get();
+  injector_.RegisterOutageSwitch(
+      address, [broker](bool down) { broker->SetOutage(down); });
   return *brokers_.back();
 }
 
@@ -52,12 +61,14 @@ infra::RegattaService& World::AddRegattaService(
 Device::Device(World& world, const DeviceOptions& options)
     : world_(world), name_(options.name) {
   node_ = world_.medium().Register(name_, options.position);
+  world_.injector().RegisterNode(name_, world_.medium(), node_);
   phone_ = std::make_unique<phone::SmartPhone>(world_.sim(), options.profile,
                                                name_);
   if (options.with_bt) {
     bt_ = std::make_unique<net::BluetoothController>(
         world_.sim(), world_.bt_bus(), *phone_, node_);
     bt_->SetEnabled(true);
+    world_.injector().RegisterBluetooth(name_, *bt_);
   }
   if (options.with_wifi) {
     wifi_ = std::make_unique<net::WifiController>(
@@ -65,11 +76,13 @@ Device::Device(World& world, const DeviceOptions& options)
     wifi_->SetEnabled(true);
     sm_ = std::make_unique<sm::SmRuntime>(world_.sim(), world_.sm_bus(),
                                           *wifi_);
+    world_.injector().RegisterWifi(name_, *wifi_);
   }
   if (options.with_cellular) {
     modem_ = std::make_unique<net::CellularModem>(
         world_.sim(), *phone_, world_.cellular(), node_);
     modem_->SetRadioOn(true);
+    world_.injector().RegisterModem(name_, *modem_);
   }
   if (options.with_contory) {
     core::DeviceServices services;
@@ -86,10 +99,11 @@ Device::Device(World& world, const DeviceOptions& options)
     factory_ = std::make_unique<core::ContextFactory>(
         services, options.factory_config);
     for (const std::string& type : options.internal_sensors) {
-      factory_->internal_reference().RegisterSource(
-          std::make_unique<sensors::EnvironmentSensor>(
-              world_.sim(), world_.environment(), world_.medium(), node_,
-              type, "env:" + type + "@" + name_));
+      auto sensor = std::make_unique<sensors::EnvironmentSensor>(
+          world_.sim(), world_.environment(), world_.medium(), node_, type,
+          "env:" + type + "@" + name_);
+      world_.injector().RegisterSensor(type + "@" + name_, *sensor);
+      factory_->internal_reference().RegisterSource(std::move(sensor));
     }
   }
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/contory.hpp"
+#include "fault/fault_injector.hpp"
 #include "infra/context_server.hpp"
 #include "infra/event_broker.hpp"
 #include "infra/regatta_service.hpp"
@@ -96,6 +97,12 @@ class World {
   [[nodiscard]] sensors::EnvironmentField& environment() noexcept {
     return environment_;
   }
+  /// Chaos harness. Every radio, sensor, GPS and infrastructure service
+  /// the builder creates is pre-registered: devices by name ("phone"),
+  /// internal sensors as "<type>@<device>", services by address.
+  [[nodiscard]] fault::FaultInjector& injector() noexcept {
+    return injector_;
+  }
 
   /// Creates a device; returned reference is stable for the World's life.
   Device& AddDevice(DeviceOptions options);
@@ -130,6 +137,7 @@ class World {
   sm::SmBus sm_bus_;
   net::CellularNetwork cellular_;
   sensors::EnvironmentField environment_;
+  fault::FaultInjector injector_;
   std::vector<std::unique_ptr<Device>> devices_;
   std::vector<std::unique_ptr<sensors::GpsDevice>> gps_devices_;
   std::vector<std::unique_ptr<infra::ContextServer>> servers_;

@@ -1,0 +1,711 @@
+// Chaos harness tests: the FaultPlan schedule language, the seeded retry
+// policy, scripted fault windows on every substrate, graceful degradation
+// to stale repository data when failover has nowhere left to go, and
+// byte-identical determinism of whole injected timelines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/retry.hpp"
+#include "core/contory.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+// --- FaultPlan schedule language ------------------------------------------
+
+TEST(FaultPlanTest, ParsesScheduleDurations) {
+  const auto ms = fault::ParseScheduleDuration("250ms");
+  ASSERT_TRUE(ms.ok());
+  EXPECT_EQ(*ms, 250ms);
+
+  const auto sec = fault::ParseScheduleDuration("13s");
+  ASSERT_TRUE(sec.ok());
+  EXPECT_EQ(*sec, 13s);
+
+  const auto mins = fault::ParseScheduleDuration("2.5min");
+  ASSERT_TRUE(mins.ok());
+  EXPECT_EQ(*mins, 150s);
+
+  const auto us = fault::ParseScheduleDuration("90us");
+  ASSERT_TRUE(us.ok());
+  EXPECT_EQ(us->count(), 90);
+
+  EXPECT_FALSE(fault::ParseScheduleDuration("5").ok());     // no unit
+  EXPECT_FALSE(fault::ParseScheduleDuration("ms").ok());    // no number
+  EXPECT_FALSE(fault::ParseScheduleDuration("5parsec").ok());
+  EXPECT_FALSE(fault::ParseScheduleDuration("-3s").ok());
+}
+
+TEST(FaultPlanTest, ParsesScheduleLines) {
+  const auto plan = fault::ParseFaultPlan(
+      "# Fig. 5 chaos variant\n"
+      "\n"
+      "at=155s gps.off gps-1 for=145s\n"
+      "at=160s bt.loss phone-A rate=0.3 for=2min  # interference\n"
+      "at=240s node.leave boat-7\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->size(), 3u);
+
+  const auto& a = plan->actions();
+  EXPECT_EQ(a[0].at, kSimEpoch + 155s);
+  EXPECT_EQ(a[0].kind, fault::FaultKind::kGpsOff);
+  EXPECT_EQ(a[0].target, "gps-1");
+  EXPECT_EQ(a[0].duration, 145s);
+
+  EXPECT_EQ(a[1].kind, fault::FaultKind::kBtLoss);
+  EXPECT_EQ(a[1].target, "phone-A");
+  EXPECT_DOUBLE_EQ(a[1].param, 0.3);
+  EXPECT_EQ(a[1].duration, 120s);
+
+  EXPECT_EQ(a[2].kind, fault::FaultKind::kNodeLeave);
+  EXPECT_EQ(a[2].duration, SimDuration::zero());
+}
+
+TEST(FaultPlanTest, RoundTripsThroughText) {
+  fault::FaultPlan plan;
+  plan.Window(kSimEpoch + 10s, fault::FaultKind::kWifiLatency, "phone-B",
+              30s, 250.0);
+  plan.Window(kSimEpoch + 60s, fault::FaultKind::kBrokerOutage,
+              "infra.dynamos.fi", 90s);
+  plan.Add({kSimEpoch + 200s, fault::FaultKind::kCellOff, "phone-B",
+            SimDuration::zero(), 0.0});
+
+  const std::string text = plan.ToText();
+  const auto reparsed = fault::ParseFaultPlan(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToText(), text);
+  EXPECT_EQ(reparsed->size(), plan.size());
+}
+
+TEST(FaultPlanTest, RejectsMalformedLines) {
+  // Unknown kind, with the line number in the diagnostic.
+  const auto bad_kind = fault::ParseFaultPlan("at=1s gps.explode gps-1\n");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("line 1"), std::string::npos);
+
+  // rate= outside [0, 1].
+  EXPECT_FALSE(
+      fault::ParseFaultPlan("at=1s bt.loss phone rate=1.5\n").ok());
+  // A loss kind without its rate= argument.
+  EXPECT_FALSE(fault::ParseFaultPlan("at=1s bt.loss phone\n").ok());
+  // Unknown trailing argument.
+  EXPECT_FALSE(
+      fault::ParseFaultPlan("at=1s gps.off gps-1 until=9s\n").ok());
+  // Missing at= prefix.
+  EXPECT_FALSE(fault::ParseFaultPlan("5s gps.off gps-1\n").ok());
+}
+
+// --- RetryPolicy -----------------------------------------------------------
+
+TEST(RetryPolicyTest, ClassifiesTransience) {
+  EXPECT_TRUE(IsTransient(Unavailable("coverage hole")));
+  EXPECT_TRUE(IsTransient(DeadlineExceeded("request timed out")));
+  EXPECT_FALSE(IsTransient(NotFound("no such source")));
+  EXPECT_FALSE(IsTransient(Internal("bug")));
+  EXPECT_FALSE(IsTransient(Status::Ok()));
+}
+
+TEST(RetryPolicyTest, BackoffSequenceIsDeterministicPerSeed) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 6;
+  cfg.total_deadline = SimDuration::zero();  // unbounded for this test
+
+  const auto collect = [&](std::uint64_t seed) {
+    RetryState state{cfg, Rng{seed}};
+    state.Begin(kSimEpoch);
+    std::vector<std::int64_t> backoffs;
+    SimTime now = kSimEpoch;
+    for (;;) {
+      const auto b = state.NextBackoff(now);
+      if (!b.ok()) break;
+      backoffs.push_back(b->count());
+      now += *b;
+    }
+    return backoffs;
+  };
+
+  const auto a = collect(42);
+  const auto b = collect(42);
+  EXPECT_EQ(a, b);  // same seed, byte-identical schedule
+  ASSERT_EQ(a.size(), 5u);  // max_attempts - 1 retries
+
+  // Jittered exponential growth, capped at max_backoff * (1 + jitter).
+  const double cap = static_cast<double>(cfg.max_backoff.count()) *
+                     (1.0 + cfg.jitter);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GT(a[i], 0);
+    EXPECT_LE(static_cast<double>(a[i]), cap);
+  }
+  EXPECT_GT(a.back(), a.front());  // it does actually grow
+}
+
+TEST(RetryPolicyTest, BudgetExhaustionAndReset) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.jitter = 0.0;
+  cfg.total_deadline = SimDuration::zero();
+  RetryState state{cfg, Rng{7}};
+
+  state.Begin(kSimEpoch);
+  EXPECT_TRUE(state.NextBackoff(kSimEpoch + 1s).ok());
+  EXPECT_TRUE(state.NextBackoff(kSimEpoch + 2s).ok());
+  const auto spent = state.NextBackoff(kSimEpoch + 3s);
+  ASSERT_FALSE(spent.ok());
+  EXPECT_EQ(spent.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(state.attempts(), 3);
+  EXPECT_EQ(state.retries(), 2);
+
+  // A success resets the budget for the next incident.
+  state.Reset();
+  state.Begin(kSimEpoch + 10s);
+  EXPECT_TRUE(state.NextBackoff(kSimEpoch + 11s).ok());
+}
+
+TEST(RetryPolicyTest, TotalDeadlineStopsRetries) {
+  RetryPolicyConfig cfg;
+  cfg.max_attempts = 100;
+  cfg.jitter = 0.0;
+  cfg.total_deadline = 5s;
+  RetryState state{cfg, Rng{7}};
+
+  state.Begin(kSimEpoch);
+  EXPECT_TRUE(state.NextBackoff(kSimEpoch + 1s).ok());
+  // Far past the deadline epoch: no further retries are scheduled.
+  const auto late = state.NextBackoff(kSimEpoch + 6s);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, ValidatesTargetsEagerly) {
+  testbed::World world{7};
+  const auto status =
+      world.injector().ExecuteText("at=1s gps.off no-such-gps\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(world.injector().injected(), 0u);
+  EXPECT_TRUE(world.injector().log().empty());
+}
+
+TEST(FaultInjectorTest, WindowedFaultAppliesAndReverts) {
+  testbed::World world{7};
+  testbed::DeviceOptions opts;
+  opts.with_contory = false;
+  auto& device = world.AddDevice(opts);
+
+  ASSERT_TRUE(
+      world.injector().ExecuteText("at=1s bt.fail phone for=2s\n").ok());
+  world.RunFor(2s);
+  EXPECT_TRUE(device.bt()->failed());
+  world.RunFor(2s);
+  EXPECT_FALSE(device.bt()->failed());
+
+  // One counted transition each for the fault and its revert.
+  EXPECT_EQ(world.injector().injected(), 2u);
+  ASSERT_EQ(world.injector().log().size(), 2u);
+  const std::string log = world.injector().LogAsText();
+  EXPECT_NE(log.find("bt.fail phone on"), std::string::npos);
+  EXPECT_NE(log.find("bt.fail phone off"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, NodeLeaveUnregistersFromMedium) {
+  testbed::World world{7};
+  testbed::DeviceOptions opts;
+  opts.name = "boat-7";
+  opts.with_contory = false;
+  auto& device = world.AddDevice(opts);
+  const net::NodeId node = device.node();
+  ASSERT_TRUE(world.medium().Exists(node));
+
+  ASSERT_TRUE(world.injector().ExecuteText("at=1s node.leave boat-7\n").ok());
+  world.RunFor(2s);
+  EXPECT_FALSE(world.medium().Exists(node));
+  EXPECT_FALSE(world.medium().GetPosition(node).ok());
+}
+
+// --- Medium tie-break (deterministic range queries) ------------------------
+
+TEST(MediumTest, NodesWithinBreaksDistanceTiesByNodeId) {
+  net::Medium medium;
+  const auto center = medium.Register("center", {0, 0});
+  // Three equidistant peers (10 m) plus one closer one, registered in an
+  // order that does not match the expected output by accident.
+  const auto east = medium.Register("east", {10, 0});
+  const auto north = medium.Register("north", {0, 10});
+  const auto west = medium.Register("west", {-10, 0});
+  const auto near = medium.Register("near", {0, 5});
+
+  const auto hits = medium.NodesWithin(center, 20.0);
+  // Nearest first; the exact 10 m tie resolves by ascending NodeId.
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0], near);
+  EXPECT_EQ(hits[1], east);
+  EXPECT_EQ(hits[2], north);
+  EXPECT_EQ(hits[3], west);
+}
+
+// --- ResourcesMonitor ------------------------------------------------------
+
+class TestReference : public core::Reference {
+ public:
+  explicit TestReference(const char* name) : name_(name) {}
+  [[nodiscard]] const char* name() const noexcept override { return name_; }
+  [[nodiscard]] bool Available() const override { return true; }
+  void Fire(const std::string& reason) { NotifyFailure(reason); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ResourcesMonitorTest, LookupRejectsUnknownVariables) {
+  sim::Simulation sim{1};
+  phone::SmartPhone phone{sim, phone::Nokia6630(), "phone"};
+  core::ResourcesMonitor monitor{sim, phone};
+
+  const auto battery = monitor.Lookup("batteryPercent");
+  ASSERT_TRUE(battery.ok());
+  EXPECT_GT(*battery->AsNumber(), 0.0);
+
+  EXPECT_FALSE(monitor.Lookup("noSuchVariable").ok());
+  EXPECT_FALSE(monitor.Lookup("").ok());
+}
+
+TEST(ResourcesMonitorTest, CountsFailuresAcrossAttachedReferences) {
+  sim::Simulation sim{1};
+  phone::SmartPhone phone{sim, phone::Nokia6630(), "phone"};
+  core::ResourcesMonitor monitor{sim, phone};
+
+  std::vector<std::string> reported;
+  monitor.SetFailureHandler(
+      [&](const std::string& module, const std::string& reason) {
+        reported.push_back(module + ": " + reason);
+      });
+
+  TestReference bt{"BTReference"};
+  TestReference cell{"2G/3GReference"};
+  monitor.Attach(bt);
+  monitor.Attach(cell);
+  EXPECT_EQ(monitor.failures_observed(), 0u);
+
+  bt.Fire("inquiry aborted");
+  bt.Fire("link supervision timeout");
+  cell.Fire("coverage lost");
+  EXPECT_EQ(monitor.failures_observed(), 3u);
+  ASSERT_EQ(reported.size(), 3u);
+  EXPECT_EQ(reported[0], "BTReference: inquiry aborted");
+  EXPECT_EQ(reported[2], "2G/3GReference: coverage lost");
+}
+
+// --- Network-level fault shims ---------------------------------------------
+
+class BtShimTest : public ::testing::Test {
+ protected:
+  BtShimTest()
+      : sim_(42),
+        bus_(medium_),
+        node_a_(medium_.Register("a", {0, 0})),
+        node_b_(medium_.Register("b", {5, 0})),
+        phone_a_(sim_, phone::Nokia6630(), "a"),
+        phone_b_(sim_, phone::Nokia6630(), "b"),
+        bt_a_(sim_, bus_, phone_a_, node_a_),
+        bt_b_(sim_, bus_, phone_b_, node_b_) {
+    bt_a_.SetEnabled(true);
+    bt_b_.SetEnabled(true);
+    bt_a_.Connect(node_b_, [this](Result<net::BtLinkId> link) {
+      ASSERT_TRUE(link.ok());
+      link_ = *link;
+    });
+    sim_.RunFor(1s);
+    EXPECT_NE(link_, 0u);
+  }
+
+  // Sends 40 bytes from a to b; returns the delivery status and whether
+  // b's data handler saw the payload.
+  std::pair<Status, bool> SendOnce() {
+    bool arrived = false;
+    bt_b_.SetDataHandler(
+        [&](net::BtLinkId, net::NodeId, const std::vector<std::byte>&) {
+          arrived = true;
+        });
+    Status delivered = Internal("never reported");
+    bt_a_.Send(link_, std::vector<std::byte>(40),
+               [&](Status s) { delivered = s; });
+    sim_.RunFor(5s);
+    return {delivered, arrived};
+  }
+
+  sim::Simulation sim_;
+  net::Medium medium_;
+  net::BluetoothBus bus_;
+  net::NodeId node_a_;
+  net::NodeId node_b_;
+  phone::SmartPhone phone_a_;
+  phone::SmartPhone phone_b_;
+  net::BluetoothController bt_a_;
+  net::BluetoothController bt_b_;
+  net::BtLinkId link_ = 0;
+};
+
+TEST_F(BtShimTest, LossRateDropsPayloadsOnTheAir) {
+  bt_a_.SetLossRate(1.0);
+  const auto [lost_status, lost_arrived] = SendOnce();
+  EXPECT_EQ(lost_status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(lost_arrived);
+  EXPECT_TRUE(bt_a_.LinkAlive(link_));  // the link itself survives
+
+  bt_a_.SetLossRate(0.0);
+  const auto [ok_status, ok_arrived] = SendOnce();
+  EXPECT_TRUE(ok_status.ok());
+  EXPECT_TRUE(ok_arrived);
+}
+
+TEST_F(BtShimTest, ExtraLatencyDelaysDelivery) {
+  SimTime arrival{};
+  bt_b_.SetDataHandler(
+      [&](net::BtLinkId, net::NodeId, const std::vector<std::byte>&) {
+        arrival = sim_.Now();
+      });
+
+  const SimTime start = sim_.Now();
+  bt_a_.Send(link_, std::vector<std::byte>(40));
+  sim_.RunFor(5s);
+  ASSERT_NE(arrival, SimTime{});
+  const SimDuration baseline = arrival - start;
+
+  bt_a_.SetExtraLatency(500ms);
+  arrival = SimTime{};
+  const SimTime start2 = sim_.Now();
+  bt_a_.Send(link_, std::vector<std::byte>(40));
+  sim_.RunFor(5s);
+  ASSERT_NE(arrival, SimTime{});
+  // Transfer times carry per-send jitter, so bound rather than equate:
+  // the shim must add its 500 ms on top of a normal-looking transfer.
+  EXPECT_GE(arrival - start2, 500ms);
+  EXPECT_LT(arrival - start2, baseline + 600ms);
+}
+
+TEST(CellularFaultTest, MidTransferAbortReportsUnavailable) {
+  testbed::World world{9};
+  world.AddContextServer("infra.test");
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_contory = false;
+  auto& device = world.AddDevice(opts);
+  device.modem()->SetTransferAbortRate(1.0);
+
+  Status outcome = Status::Ok();
+  device.modem()->SendRequest(
+      "infra.test", std::vector<std::byte>(64),
+      [&](Result<std::vector<std::byte>> response) {
+        outcome = response.status();
+      });
+  world.RunFor(30s);
+  EXPECT_EQ(outcome.code(), StatusCode::kUnavailable);
+  EXPECT_NE(outcome.message().find("mid-transfer"), std::string::npos);
+}
+
+TEST(SensorFaultTest, NanBurstPoisonsSamplesOnlyInsideWindow) {
+  testbed::World world{11};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+
+  ASSERT_TRUE(world.injector()
+                  .ExecuteText("at=30s sensor.nan temperature@phone for=30s\n")
+                  .ok());
+
+  core::CollectingClient client;
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(
+                      Q(world.sim(),
+                        "SELECT temperature FROM intSensor "
+                        "DURATION 2 min EVERY 5 sec"),
+                      client)
+                  .ok());
+  world.RunFor(2min);
+
+  int nan_inside = 0;
+  for (const CxtItem& item : client.items) {
+    const auto number = item.value.AsNumber();
+    ASSERT_TRUE(number.ok());
+    // Margins around the window edges avoid same-instant event-order
+    // ambiguity between the fault transition and a sample.
+    if (item.timestamp > kSimEpoch + 31s && item.timestamp < kSimEpoch + 59s) {
+      EXPECT_TRUE(std::isnan(*number))
+          << "sample at " << FormatTime(item.timestamp);
+      ++nan_inside;
+    } else if (item.timestamp < kSimEpoch + 29s ||
+               item.timestamp > kSimEpoch + 61s) {
+      EXPECT_FALSE(std::isnan(*number))
+          << "sample at " << FormatTime(item.timestamp);
+    }
+  }
+  EXPECT_GE(nan_inside, 3);
+  EXPECT_GT(client.items.size(), 15u);
+}
+
+// --- Retry absorbing an infrastructure outage (no failover needed) ---------
+
+TEST(InfraRetryTest, RetriesAbsorbServerOutage) {
+  testbed::World world{204};
+  auto& server = world.AddContextServer("infra.dynamos.fi");
+  infra::StoredItem stored;
+  stored.item.id = "seed-1";
+  stored.item.type = vocab::kTemperature;
+  stored.item.value = 14.0;
+  stored.item.timestamp = world.Now();
+  stored.item.metadata.accuracy = 0.2;
+  stored.entity = "station-1";
+  server.StoreDirect(stored);
+
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.infra_address = "infra.dynamos.fi";
+  core::ContextFactoryConfig cfg;
+  cfg.retry.max_attempts = 8;
+  cfg.retry.attempt_timeout = 6s;
+  cfg.retry.initial_backoff = 500ms;
+  cfg.retry.max_backoff = 4s;
+  cfg.retry.total_deadline = 120s;
+  opts.factory_config = cfg;
+  auto& device = world.AddDevice(opts);
+
+  // The server swallows every request for the first 30 s.
+  ASSERT_TRUE(world.injector()
+                  .ExecuteText("at=0s broker.outage infra.dynamos.fi for=30s\n")
+                  .ok());
+
+  core::CollectingClient client;
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(
+                      Q(world.sim(),
+                        "SELECT temperature FROM extInfra DURATION 2 min"),
+                      client)
+                  .ok());
+  world.RunFor(90s);
+
+  // The retry policy rode out the outage: the item arrived, the client
+  // never saw an error, and no failover/degradation was needed.
+  ASSERT_FALSE(client.items.empty());
+  EXPECT_EQ(client.items.front().source.kind, SourceKind::kExtInfra);
+  EXPECT_TRUE(client.errors.empty())
+      << "first error: " << client.errors.front();
+  EXPECT_GE(device.contory().total_retries(), 1u);
+  EXPECT_GE(server.dropped_requests(), 1u);
+  EXPECT_EQ(device.contory().degraded_deliveries(), 0u);
+}
+
+// --- Graceful degradation (the acceptance scenario) ------------------------
+
+class DegradedModeTest : public ::testing::Test {
+ protected:
+  DegradedModeTest() : world_(321) {
+    testbed::DeviceOptions opts;
+    opts.name = "phone-A";
+    core::ContextFactoryConfig cfg;
+    cfg.recovery_probe_period = 15s;
+    opts.factory_config = cfg;
+    device_ = &world_.AddDevice(opts);
+    gps_ = &world_.AddGps("gps-1", {3, 0});
+  }
+
+  testbed::World world_;
+  testbed::Device* device_ = nullptr;
+  sensors::GpsDevice* gps_ = nullptr;
+};
+
+TEST_F(DegradedModeTest, ServesStaleRepositoryDataAndRecovers) {
+  core::CollectingClient client;
+  const auto id = device_->contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 20 min EVERY 5 sec"),
+      client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Phase 1: healthy GPS provisioning fills the repository.
+  world_.RunFor(60s);
+  ASSERT_FALSE(client.items.empty());
+  EXPECT_FALSE(client.items.back().metadata.staleness_seconds.has_value());
+  const std::size_t live_items = client.items.size();
+
+  // Phase 2: the GPS dies; failover to the (empty) ad hoc neighborhood
+  // fails too, so the query degrades to the repository. Shortly after,
+  // the local BT radio also fails, which keeps the recovery probes from
+  // flapping back onto a GPS-less BT stack until both faults revert.
+  ASSERT_TRUE(world_.injector()
+                  .ExecuteText(
+                      "at=60s gps.off gps-1 for=180s\n"
+                      "at=80s bt.fail phone-A for=160s\n")
+                  .ok());
+  world_.RunFor(90s);  // now at t=150s, mid-outage
+
+  EXPECT_TRUE(device_->contory().IsDegraded(*id));
+  EXPECT_GT(device_->contory().degraded_deliveries(), 0u);
+  EXPECT_GT(client.items.size(), live_items);
+
+  // Stale answers carry explicit, growing staleness metadata.
+  std::vector<double> staleness;
+  for (std::size_t i = live_items; i < client.items.size(); ++i) {
+    const auto& meta = client.items[i].metadata;
+    if (meta.staleness_seconds.has_value()) {
+      staleness.push_back(*meta.staleness_seconds);
+    }
+  }
+  ASSERT_GE(staleness.size(), 2u);
+  EXPECT_GT(staleness.front(), 0.0);
+  EXPECT_GT(staleness.back(), staleness.front());
+
+  // The client was told it is living on cached data.
+  bool told = false;
+  for (const auto& e : client.errors) {
+    if (e.find("degraded") != std::string::npos) told = true;
+  }
+  EXPECT_TRUE(told);
+
+  // Phase 3: the radios return at t=240s; the background probe reassigns
+  // the GPS mechanism and live provisioning resumes.
+  world_.RunFor(160s);  // now at t=310s
+  EXPECT_FALSE(device_->contory().IsDegraded(*id));
+  EXPECT_EQ(client.items.back().source.kind, SourceKind::kIntSensor);
+  EXPECT_FALSE(client.items.back().metadata.staleness_seconds.has_value());
+  bool restored = false;
+  for (const auto& e : client.errors) {
+    if (e.find("restored") != std::string::npos) restored = true;
+  }
+  EXPECT_TRUE(restored);
+}
+
+TEST_F(DegradedModeTest, OnDemandQueryGetsOneStaleAnswer) {
+  // Warm the repository with a periodic query, then switch the GPS off and
+  // submit an on-demand query: once GPS and ad hoc discovery both come up
+  // empty, it should resolve from cache with staleness metadata instead of
+  // erroring.
+  core::CollectingClient warm;
+  const auto warm_id = device_->contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 1 min EVERY 5 sec"), warm);
+  ASSERT_TRUE(warm_id.ok());
+  world_.RunFor(70s);
+  ASSERT_FALSE(warm.items.empty());
+
+  gps_->PowerOff();
+  world_.RunFor(5s);
+
+  core::CollectingClient client;
+  const auto id = device_->contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 2 min"), client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  world_.RunFor(80s);
+
+  ASSERT_EQ(client.items.size(), 1u);
+  ASSERT_TRUE(client.items.front().metadata.staleness_seconds.has_value());
+  EXPECT_GT(*client.items.front().metadata.staleness_seconds, 0.0);
+  // The on-demand record is finished and removed, not left degraded.
+  EXPECT_FALSE(device_->contory().IsDegraded(*id));
+}
+
+TEST_F(DegradedModeTest, DisabledDegradedModeFailsHard) {
+  core::ContextFactoryConfig cfg;
+  cfg.enable_degraded_mode = false;
+  testbed::DeviceOptions opts;
+  opts.name = "phone-C";
+  opts.position = {100, 100};  // out of BT range of the fixture devices
+  opts.factory_config = cfg;
+  auto& device = world_.AddDevice(opts);
+
+  core::CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 5 min EVERY 5 sec"), client);
+  ASSERT_TRUE(id.ok());
+  world_.RunFor(2min);
+
+  EXPECT_FALSE(client.errors.empty());
+  EXPECT_EQ(device.contory().degraded_deliveries(), 0u);
+  EXPECT_FALSE(device.contory().IsDegraded(*id));
+}
+
+// --- Determinism (acceptance: two same-seed runs are byte-identical) -------
+
+std::string RunChaosScenario(std::uint64_t seed) {
+  testbed::World world{seed};
+
+  testbed::DeviceOptions phone_opts;
+  phone_opts.name = "phone-A";
+  core::ContextFactoryConfig cfg;
+  cfg.recovery_probe_period = 20s;
+  phone_opts.factory_config = cfg;
+  auto& device = world.AddDevice(phone_opts);
+  world.AddGps("gps-1", {3, 0});
+
+  testbed::DeviceOptions neighbor_opts;
+  neighbor_opts.name = "phone-B";
+  neighbor_opts.position = {6, 0};
+  auto& neighbor = world.AddDevice(neighbor_opts);
+  core::CollectingClient neighbor_client;
+  EXPECT_TRUE(neighbor.contory().RegisterCxtServer(neighbor_client).ok());
+  sim::PeriodicTask publish{world.sim(), 5s, [&] {
+                              CxtItem item;
+                              item.id = world.sim().ids().NextId("nb-item");
+                              item.type = vocab::kLocation;
+                              item.value =
+                                  sensors::ToGeo(neighbor.position());
+                              item.timestamp = world.Now();
+                              item.metadata.accuracy = 30.0;
+                              (void)neighbor.contory().PublishCxtItem(item,
+                                                                      true);
+                            }};
+
+  EXPECT_TRUE(world.injector()
+                  .ExecuteText(
+                      "at=30s bt.loss phone-A rate=0.3 for=60s\n"
+                      "at=45s gps.off gps-1 for=60s\n"
+                      "at=100s bt.latency phone-A ms=250 for=30s\n")
+                  .ok());
+
+  core::CollectingClient client;
+  EXPECT_TRUE(device.contory()
+                  .ProcessCxtQuery(
+                      Q(world.sim(),
+                        "SELECT location DURATION 5 min EVERY 5 sec"),
+                      client)
+                  .ok());
+  world.RunFor(3min);
+
+  // Everything observable, concatenated: the fault log, every delivered
+  // item with its timestamp, every error, every recorded switch.
+  std::string out = world.injector().LogAsText();
+  for (const CxtItem& item : client.items) {
+    out += FormatTime(item.timestamp) + ' ' + item.ToString() + '\n';
+  }
+  for (const auto& e : client.errors) out += e + '\n';
+  for (const auto& s : device.contory().switch_log()) {
+    out += FormatTime(s.at) + ' ' + s.query_id + '\n';
+  }
+  return out;
+}
+
+TEST(ChaosDeterminismTest, SameSeedSamePlanIsByteIdentical) {
+  const std::string first = RunChaosScenario(777);
+  const std::string second = RunChaosScenario(777);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace contory
