@@ -1,12 +1,16 @@
 // Chaos extension of Fig. 5: query availability under compound faults.
 //
-// Sweeps BT packet-loss rate x simultaneous-outage duration (the BT-GPS
-// and the publishing neighbor go dark together, so failover has nowhere
-// to go) and reports, per cell, how many 5 s delivery periods produced an
-// answer, how many of those answers were degraded (served stale from the
-// local repository), and the mean staleness of the degraded answers.
-// Emits the sweep as JSON for machine consumption.
+// Default mode sweeps BT packet-loss rate x simultaneous-outage duration
+// (the BT-GPS and the publishing neighbor go dark together, so failover
+// has nowhere to go) and reports, per cell, how many 5 s delivery periods
+// produced an answer, how many of those answers were degraded (served
+// stale from the local repository), and the mean staleness of the
+// degraded answers. `--mode=extinfra` runs the same sweep against the
+// infrastructure path instead: cell.connectfail rate x broker.outage
+// duration on a cellular-only device, exercising retry absorption and
+// degradation over UMTS. Emits the sweep as JSON for machine consumption.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -120,28 +124,125 @@ CellResult RunCell(double loss_rate, int outage_sec, std::uint64_t seed) {
   return r;
 }
 
+// extInfra variant of the sweep: cell.connectfail x broker.outage on a
+// cellular-only device querying the remote repository.
+CellResult RunExtInfraCell(double connectfail_rate, int outage_sec,
+                           std::uint64_t seed) {
+  testbed::World world{seed};
+  auto& server = world.AddContextServer("infra.dynamos.fi");
+
+  // A station feed keeps the remote repository warm every period.
+  sim::PeriodicTask feed{world.sim(), kEvery, [&] {
+                           infra::StoredItem stored;
+                           stored.item.id =
+                               world.sim().ids().NextId("station");
+                           stored.item.type = vocab::kTemperature;
+                           stored.item.value = 14.0;
+                           stored.item.timestamp = world.Now();
+                           stored.item.metadata.accuracy = 0.2;
+                           stored.entity = "station-1";
+                           server.StoreDirect(stored);
+                         }};
+
+  testbed::DeviceOptions phone_opts;
+  phone_opts.name = "phone-A";
+  phone_opts.with_bt = false;
+  phone_opts.infra_address = "infra.dynamos.fi";
+  core::ContextFactoryConfig cfg;
+  cfg.recovery_probe_period = 20s;
+  cfg.retry.max_attempts = 6;
+  cfg.retry.attempt_timeout = 6s;
+  cfg.retry.initial_backoff = 500ms;
+  cfg.retry.max_backoff = 4s;
+  cfg.retry.total_deadline = 60s;
+  phone_opts.factory_config = cfg;
+  auto& device = world.AddDevice(phone_opts);
+
+  std::string plan;
+  if (connectfail_rate > 0.0) {
+    plan += "at=1s cell.connectfail phone-A rate=" +
+            std::to_string(connectfail_rate) + " for=299s\n";
+  }
+  if (outage_sec > 0) {
+    plan += "at=60s broker.outage infra.dynamos.fi for=" +
+            std::to_string(outage_sec) + "s\n";
+  }
+  if (!plan.empty()) {
+    const Status s = world.injector().ExecuteText(plan);
+    if (!s.ok()) throw std::runtime_error(s.ToString());
+  }
+
+  // Submit inside the connectfail window so the long-running registration
+  // itself must ride the retry policy out.
+  world.RunFor(2s);
+  core::CollectingClient client;
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(),
+        "SELECT temperature FROM extInfra DURATION 5 min EVERY 5 sec"),
+      client);
+  if (!id.ok()) throw std::runtime_error(id.status().ToString());
+  world.RunFor(kRun - 2s);
+
+  CellResult r;
+  r.items_total = client.items.size();
+  double staleness_sum = 0.0;
+  for (const CxtItem& item : client.items) {
+    if (item.metadata.staleness_seconds.has_value()) {
+      ++r.items_stale;
+      staleness_sum += *item.metadata.staleness_seconds;
+    }
+  }
+  if (r.items_stale > 0) {
+    r.mean_staleness_s = staleness_sum / static_cast<double>(r.items_stale);
+  }
+  const double periods = ToSeconds(kRun) / ToSeconds(kEvery);
+  r.success_rate = static_cast<double>(r.items_total) / periods;
+  if (r.success_rate > 1.0) r.success_rate = 1.0;
+  r.switches = device.contory().switch_log().size();
+  r.retries = device.contory().total_retries();
+  r.injected = world.injector().injected();
+  return r;
+}
+
 }  // namespace
 
-int main() {
-  bench::PrintHeading(
-      "Fig. 5 chaos sweep: availability under packet loss x outages");
-  std::printf(
-      "300 s location query (EVERY 5 s); at t=60 s the BT-GPS and the\n"
-      "publishing neighbor go dark for the outage window, so failover is\n"
-      "exhausted and the factory degrades to stale repository answers.\n");
+int main(int argc, char** argv) {
+  bool extinfra = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode=extinfra") == 0) extinfra = true;
+  }
+
+  if (extinfra) {
+    bench::PrintHeading(
+        "Fig. 5 chaos sweep (extInfra): availability under "
+        "connect failures x broker outages");
+    std::printf(
+        "300 s temperature query over UMTS (EVERY 5 s); at t=60 s the\n"
+        "remote repository swallows requests for the outage window while\n"
+        "connect attempts fail at the given rate; retries absorb what they\n"
+        "can, then the factory degrades to stale local answers.\n");
+  } else {
+    bench::PrintHeading(
+        "Fig. 5 chaos sweep: availability under packet loss x outages");
+    std::printf(
+        "300 s location query (EVERY 5 s); at t=60 s the BT-GPS and the\n"
+        "publishing neighbor go dark for the outage window, so failover is\n"
+        "exhausted and the factory degrades to stale repository answers.\n");
+  }
 
   const std::vector<double> loss_rates{0.0, 0.1, 0.3};
   const std::vector<int> outages_sec{0, 30, 90};
 
   std::vector<bench::Row> rows;
   std::vector<bench::JsonObject> json;
-  std::uint64_t seed = 9100;
+  std::uint64_t seed = extinfra ? 9400 : 9100;
   for (const double loss : loss_rates) {
     for (const int outage : outages_sec) {
-      const CellResult r = RunCell(loss, outage, seed++);
+      const CellResult r = extinfra ? RunExtInfraCell(loss, outage, seed++)
+                                    : RunCell(loss, outage, seed++);
       char label[64];
-      std::snprintf(label, sizeof label, "loss=%.1f outage=%3ds", loss,
-                    outage);
+      std::snprintf(label, sizeof label, "%s=%.1f outage=%3ds",
+                    extinfra ? "cfail" : "loss", loss, outage);
       char measured[96];
       std::snprintf(measured, sizeof measured,
                     "%.0f%% answered, %zu stale (mean %.0f s old)",
@@ -155,7 +256,7 @@ int main() {
       rows.push_back({label, measured, "n/a (extension)", note});
 
       bench::JsonObject obj;
-      obj.Set("loss_rate", loss)
+      obj.Set("mode", extinfra ? 1.0 : 0.0).Set("loss_rate", loss)
           .Set("outage_sec", static_cast<double>(outage))
           .Set("items_total", static_cast<double>(r.items_total))
           .Set("items_stale", static_cast<double>(r.items_stale))

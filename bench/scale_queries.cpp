@@ -1,0 +1,148 @@
+// Query-table scaling bench: submit/cancel latency vs. active query count.
+//
+// The ROADMAP's production-scale target means thousands of concurrent
+// queries per ContextFactory. This bench grows one factory to 10k live
+// queries (each with a distinct SELECT type, so no two merge and every
+// query owns a facade cluster) and measures the wall-clock latency of
+// ProcessCxtQuery and CancelCxtQuery at increasing populations. With a
+// linear cluster scan both degrade with the active count; with the
+// (cxt_type, source, mode)-keyed cluster index they stay flat. Emits the
+// sweep as JSON like the other benches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/contory.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+struct OpStats {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+OpStats Summarize(std::vector<double> samples) {
+  OpStats s;
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean_us = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  s.p50_us = samples[samples.size() / 2];
+  s.p99_us = samples[std::min(samples.size() - 1,
+                              (samples.size() * 99) / 100)];
+  return s;
+}
+
+query::CxtQuery MakeQuery(sim::Simulation& sim, std::size_t n) {
+  // Distinct SELECT types so every query lands in its own cluster.
+  auto q = query::QueryBuilder("scale-type-" + std::to_string(n))
+               .FromAdHoc(1, 1)
+               .For(std::chrono::hours{1})
+               .Every(60s)
+               .Build();
+  q.id = sim.ids().NextId("q");
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeading(
+      "Query scaling: submit/cancel latency vs. active query count");
+  std::printf(
+      "One factory grown to 10k concurrent single-cluster queries; per-op\n"
+      "wall-clock latency sampled at each population milestone.\n\n");
+
+  testbed::World world{4242};
+  testbed::DeviceOptions opts;
+  opts.name = "phone-scale";
+  opts.with_cellular = false;  // adHoc facade only: isolates cluster lookup
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+
+  const std::vector<std::size_t> milestones{1'000, 2'500, 5'000, 10'000};
+  constexpr std::size_t kTimedWindow = 500;  // ops timed at each milestone
+  constexpr std::size_t kCancelSample = 250;
+
+  std::vector<std::string> ids;
+  ids.reserve(milestones.back());
+  std::vector<bench::Row> rows;
+  std::vector<bench::JsonObject> json;
+  Rng sample_rng{7};
+
+  std::size_t submitted = 0;
+  for (const std::size_t target : milestones) {
+    // Grow to the milestone, timing the last kTimedWindow submissions.
+    std::vector<double> submit_us;
+    while (submitted < target) {
+      auto q = MakeQuery(world.sim(), submitted);
+      const bool timed = submitted + kTimedWindow >= target;
+      const auto start = Clock::now();
+      const auto id = device.contory().ProcessCxtQuery(std::move(q), client);
+      if (timed) submit_us.push_back(MicrosSince(start));
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed at %zu: %s\n", submitted,
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(*id);
+      ++submitted;
+    }
+
+    // Cancel a deterministic sample spread across the whole population
+    // (early ids are the linear scan's worst case), then resubmit to
+    // restore the population.
+    std::vector<double> cancel_us;
+    for (std::size_t i = 0; i < kCancelSample; ++i) {
+      const std::size_t victim = static_cast<std::size_t>(
+          sample_rng.UniformInt(0, static_cast<std::int64_t>(ids.size()) - 1));
+      const auto start = Clock::now();
+      device.contory().CancelCxtQuery(ids[victim]);
+      cancel_us.push_back(MicrosSince(start));
+      auto q = MakeQuery(world.sim(), submitted + i);
+      const auto id = device.contory().ProcessCxtQuery(std::move(q), client);
+      if (id.ok()) ids[victim] = *id;
+    }
+
+    const OpStats sub = Summarize(std::move(submit_us));
+    const OpStats can = Summarize(std::move(cancel_us));
+    char label[48];
+    std::snprintf(label, sizeof label, "%5zu active", target);
+    char measured[96];
+    std::snprintf(measured, sizeof measured,
+                  "submit %.1f us (p50 %.1f), cancel %.1f us (p50 %.1f)",
+                  sub.mean_us, sub.p50_us, can.mean_us, can.p50_us);
+    rows.push_back({label, measured, "n/a (extension)", ""});
+
+    bench::JsonObject obj;
+    obj.Set("active_queries", static_cast<double>(target))
+        .Set("submit_mean_us", sub.mean_us)
+        .Set("submit_p50_us", sub.p50_us)
+        .Set("submit_p99_us", sub.p99_us)
+        .Set("cancel_mean_us", can.mean_us)
+        .Set("cancel_p50_us", can.p50_us)
+        .Set("cancel_p99_us", can.p99_us);
+    json.push_back(obj);
+  }
+
+  bench::PrintTable("Per-op latency vs. active query count", "latency",
+                    rows);
+  std::printf("\nJSON:\n%s", bench::ToJsonArray(json).c_str());
+  return 0;
+}

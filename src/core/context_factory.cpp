@@ -1,9 +1,6 @@
 #include "core/context_factory.hpp"
 
-#include <algorithm>
-
 #include "common/logging.hpp"
-#include "core/model/vocabulary.hpp"
 #include "core/providers/infra_provider.hpp"
 #include "core/providers/local_provider.hpp"
 #include "infra/context_server.hpp"
@@ -21,14 +18,6 @@ DeviceServices Validated(DeviceServices services) {
 
 }  // namespace
 
-void DeviceServices::CheckRequired() const {
-  if (sim == nullptr || phone == nullptr || medium == nullptr ||
-      node == net::kInvalidNode) {
-    throw std::invalid_argument(
-        "DeviceServices: sim, phone, medium, and node are required");
-  }
-}
-
 ContextFactory::ContextFactory(DeviceServices services,
                                ContextFactoryConfig config)
     : services_(Validated(std::move(services))),
@@ -40,7 +29,27 @@ ContextFactory::ContextFactory(DeviceServices services,
       monitor_(*services_.sim, *services_.phone, config_.resources),
       access_(config_.access),
       repository_(*services_.sim, config_.repository),
-      query_manager_(*services_.sim) {
+      policy_(rules_, monitor_, repository_, facades_,
+              {.reduce_load_provider_cap = config_.reduce_load_provider_cap}),
+      table_(*services_.sim),
+      planner_(PlannerEnv{&internal_ref_, &bt_ref_, &wifi_ref_, &cell_ref_,
+                          &services_.default_infra_address,
+                          &policy_.active_actions()}),
+      admission_(*services_.sim, access_, table_),
+      router_(*services_.sim, table_, repository_),
+      coordinator_(
+          *services_.sim,
+          FailoverConfig{config_.recovery_probe_period,
+                         config_.enable_degraded_mode,
+                         config_.degraded_poll_period},
+          table_, planner_, repository_, router_, internal_ref_, bt_ref_,
+          FailoverCoordinator::Hooks{
+              [this](QueryRecord& record, query::SourceSel kind) {
+                return AssignToFacade(record, kind);
+              },
+              [this](const std::string& query_id, query::SourceSel kind) {
+                facades_.at(kind)->Cancel(query_id);
+              }}) {
   publisher_ = std::make_unique<CxtPublisher>(bt_ref_, wifi_ref_);
   WireReferences();
   BuildFacades();
@@ -56,7 +65,7 @@ ContextFactory::ContextFactory(DeviceServices services,
   services_.phone->SetContoryRunning(true);
 
   policy_task_ = std::make_unique<sim::PeriodicTask>(
-      *services_.sim, config_.policy_period, [this] { EvaluatePolicies(); });
+      *services_.sim, config_.policy_period, [this] { policy_.Evaluate(); });
 }
 
 ContextFactory::~ContextFactory() {
@@ -70,14 +79,14 @@ void ContextFactory::WireReferences() {
   monitor_.Attach(wifi_ref_);
   monitor_.Attach(cell_ref_);
   monitor_.SetMemoryGauge([this] { return repository_.size(); });
-  monitor_.SetQueryGauge([this] { return query_manager_.active_count(); });
+  monitor_.SetQueryGauge([this] { return table_.active_count(); });
   monitor_.SetProviderGauge([this] { return active_provider_count(); });
 }
 
 std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
     query::SourceSel kind, query::CxtQuery q,
     CxtProvider::Callbacks callbacks) {
-  QueryRecord* record = query_manager_.Find(q.id);
+  QueryRecord* record = table_.Find(q.id);
   Client* client = record != nullptr ? record->client : nullptr;
   switch (kind) {
     case query::SourceSel::kIntSensor:
@@ -101,7 +110,7 @@ std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
     }
     case query::SourceSel::kAdHocNetwork: {
       const AdHocTransport transport =
-          active_actions_.contains(RuleAction::kReducePower)
+          policy_.active_actions().contains(RuleAction::kReducePower)
               ? AdHocTransport::kForceBt
               : AdHocTransport::kAuto;
       auto provider = std::make_unique<AdHocCxtProvider>(
@@ -132,104 +141,46 @@ void ContextFactory::BuildFacades() {
         },
         policy);
     facade->SetDelivery(
-        [this, kind](const std::string& query_id, const CxtItem& item) {
-          OnDelivery(kind, query_id, item);
+        [this](const std::string& query_id, const CxtItem& item) {
+          router_.OnFacadeDelivery(query_id, item);
         });
     facade->SetFinished(
         [this, kind](const std::string& query_id, const Status& status) {
-          OnFinished(kind, query_id, status);
+          coordinator_.OnFacadeFinished(kind, query_id, status);
         });
     facades_.emplace(kind, std::move(facade));
   }
 }
 
-Facade& ContextFactory::facade(query::SourceSel kind) {
-  return *facades_.at(kind);
-}
-
-std::size_t ContextFactory::active_provider_count() const {
-  std::size_t n = 0;
-  for (const auto& [kind, facade] : facades_) {
-    n += facade->active_provider_count();
-  }
-  return n;
-}
-
 std::set<query::SourceSel> ContextFactory::CurrentMechanisms(
     const std::string& query_id) const {
-  const QueryRecord* record = query_manager_.Find(query_id);
+  const QueryRecord* record = table_.Find(query_id);
   return record != nullptr ? record->assigned : std::set<query::SourceSel>{};
-}
-
-Result<query::SourceSel> ContextFactory::SelectMechanism(
-    const query::CxtQuery& q,
-    const std::set<query::SourceSel>& excluded) const {
-  // Preference order: own sensors (cheapest), then the ad hoc network,
-  // then the infrastructure (the 14 J hammer). Control policies bias the
-  // order: reducePower demotes extInfra below everything.
-  std::vector<query::SourceSel> order{query::SourceSel::kIntSensor,
-                                      query::SourceSel::kAdHocNetwork,
-                                      query::SourceSel::kExtInfra};
-  for (const query::SourceSel kind : order) {
-    if (excluded.contains(kind)) continue;
-    switch (kind) {
-      case query::SourceSel::kIntSensor:
-        if (LocalCxtProvider::CanServe(q, internal_ref_, bt_ref_)) {
-          return kind;
-        }
-        break;
-      case query::SourceSel::kAdHocNetwork:
-        if (AdHocCxtProvider::CanServe(bt_ref_, wifi_ref_)) return kind;
-        break;
-      case query::SourceSel::kExtInfra:
-        if (active_actions_.contains(RuleAction::kReducePower)) break;
-        if (InfraCxtProvider::CanServe(cell_ref_,
-                                       services_.default_infra_address)) {
-          return kind;
-        }
-        break;
-      case query::SourceSel::kAuto:
-        break;
-    }
-  }
-  return Unavailable("no provisioning mechanism can serve '" +
-                     q.select_type + "'");
 }
 
 Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
                                                     Client& client) {
-  if (const Status s = query.Validate(); !s.ok()) return s;
-  if (query.id.empty()) {
-    query.id = services_.sim->ids().NextId("q");
-  }
-  const std::string id = query.id;
-  if (const Status s = query_manager_.Register(query, client); !s.ok()) {
+  // Stage 1: admission (validation, access control, policy gates).
+  if (const Status s =
+          admission_.Admit(query, client, policy_.active_actions());
+      !s.ok()) {
     return s;
   }
-  QueryRecord* record = query_manager_.Find(id);
+  const std::string id = query.id;
+  QueryRecord* record = table_.Find(id);
 
-  // Facade assignment: explicit FROM sources, or transparent selection.
-  std::set<query::SourceSel> kinds;
-  if (query.from.IsAuto()) {
-    const auto kind = SelectMechanism(query, {});
-    if (!kind.ok()) {
-      query_manager_.Remove(id);
-      return kind.status();
-    }
-    kinds.insert(*kind);
-    record->preferred = *kind;
-  } else {
-    for (const auto& src : query.from.sources) {
-      kinds.insert(src.kind == query::SourceSel::kAuto
-                       ? query::SourceSel::kExtInfra
-                       : src.kind);
-    }
-    record->preferred = *kinds.begin();
+  // Stage 2: planning (FROM clause -> facade set + failover order).
+  auto plan = planner_.Plan(record->query);
+  if (!plan.ok()) {
+    table_.Finish(id);
+    return plan.status();
   }
+  record->plan = *std::move(plan);
 
+  // Stage 3: facade assignment.
   Status last;
   std::size_t assigned = 0;
-  for (const query::SourceSel kind : kinds) {
+  for (const query::SourceSel kind : record->plan.initial) {
     const Status s = AssignToFacade(*record, kind);
     if (s.ok()) {
       ++assigned;
@@ -238,11 +189,12 @@ Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
     }
   }
   if (assigned == 0) {
-    query_manager_.Remove(id);
+    table_.Finish(id);
     return last;
   }
+  table_.Transition(*record, QueryState::kActive);
   CLOG_INFO(kModule, "query %s (%s) assigned to %zu facade(s)", id.c_str(),
-            query.select_type.c_str(), assigned);
+            record->query.select_type.c_str(), assigned);
   return id;
 }
 
@@ -254,297 +206,19 @@ Status ContextFactory::AssignToFacade(QueryRecord& record,
 }
 
 void ContextFactory::CancelCxtQuery(const std::string& query_id) {
-  QueryRecord* record = query_manager_.Find(query_id);
+  QueryRecord* record = table_.Find(query_id);
   if (record == nullptr) return;
   for (const query::SourceSel kind : record->assigned) {
     facades_.at(kind)->Cancel(query_id);
   }
-  recovery_probes_.erase(query_id);
-  degraded_tasks_.erase(query_id);
-  aggregators_.erase(query_id);
-  query_manager_.Remove(query_id);
-}
-
-void ContextFactory::OnDelivery(query::SourceSel kind,
-                                const std::string& query_id,
-                                const CxtItem& item) {
-  (void)kind;
-  QueryRecord* record = query_manager_.Find(query_id);
-  if (record == nullptr || record->client == nullptr) return;
-  // Dedup by item id only when several mechanisms serve the query; a
-  // single mechanism legitimately re-delivers an unchanged observation on
-  // every periodic round.
-  const bool multi_mechanism = record->assigned.size() > 1;
-  const bool fresh = query_manager_.RecordDelivery(*record, item.id);
-  if (!fresh) {
-    if (multi_mechanism) return;  // duplicate across mechanisms
-    ++record->items_delivered;    // same observation, new periodic round
-  }
-  // Optional fusion aggregation for multi-mechanism queries.
-  const auto agg = aggregators_.find(query_id);
-  if (agg != aggregators_.end()) {
-    auto fused = agg->second.Process(item);
-    if (!fused.has_value()) return;
-    repository_.Store(*fused);
-    record->client->ReceiveCxtItem(*fused);
-    return;
-  }
-  repository_.Store(item);
-  record->client->ReceiveCxtItem(item);
-}
-
-void ContextFactory::OnFinished(query::SourceSel kind,
-                                const std::string& query_id,
-                                const Status& status) {
-  QueryRecord* record = query_manager_.Find(query_id);
-  if (record == nullptr) return;
-  record->assigned.erase(kind);
-  if (status.ok()) {
-    // Duration complete on this mechanism; the query is over when no
-    // facade still serves it.
-    if (record->assigned.empty()) {
-      recovery_probes_.erase(query_id);
-      degraded_tasks_.erase(query_id);
-      aggregators_.erase(query_id);
-      query_manager_.Remove(query_id);
-    }
-    return;
-  }
-  CLOG_INFO(kModule, "query %s failed on %s: %s", query_id.c_str(),
-            query::SourceSelName(kind), status.ToString().c_str());
-  record->failed.insert(kind);
-  TryFailover(*record, kind, status);
-}
-
-void ContextFactory::TryFailover(QueryRecord& record,
-                                 query::SourceSel failed_kind,
-                                 const Status& status) {
-  // "if a BT-GPS device suddenly disconnects, the location provisioning
-  // task can be moved from a LocalLocationProvider ... to an
-  // AdHocLocationProvider".
-  const auto replacement = SelectMechanism(record.query, record.failed);
-  if (!replacement.ok()) {
-    // Last resort before erroring out: serve whatever the repository
-    // still holds, annotated with its age.
-    if (config_.enable_degraded_mode && EnterDegradedMode(record, status)) {
-      return;
-    }
-    if (record.client != nullptr) {
-      record.client->InformError("query " + record.query.id +
-                                 " lost its provisioning mechanism (" +
-                                 status.ToString() +
-                                 ") and no alternative is available");
-    }
-    if (record.assigned.empty()) {
-      query_manager_.Remove(record.query.id);
-    }
-    return;
-  }
-  const Status s = AssignToFacade(record, *replacement);
-  if (!s.ok()) {
-    record.failed.insert(*replacement);
-    TryFailover(record, failed_kind, status);
-    return;
-  }
-  switch_log_.push_back(SwitchEvent{services_.sim->Now(), record.query.id,
-                                    failed_kind, *replacement});
-  CLOG_INFO(kModule, "query %s switched %s -> %s", record.query.id.c_str(),
-            query::SourceSelName(failed_kind),
-            query::SourceSelName(*replacement));
-  if (record.client != nullptr) {
-    record.client->InformError(
-        std::string("provisioning switched from ") +
-        query::SourceSelName(failed_kind) + " to " +
-        query::SourceSelName(*replacement));
-  }
-  // Arm the switch-back probe toward the preferred mechanism.
-  if (record.preferred == failed_kind) {
-    StartRecoveryProbe(record.query.id);
-  }
-}
-
-void ContextFactory::StartRecoveryProbe(const std::string& query_id) {
-  if (recovery_probes_.contains(query_id)) return;
-  recovery_probes_[query_id] = std::make_unique<sim::PeriodicTask>(
-      *services_.sim, config_.recovery_probe_period,
-      [this, query_id] { ProbeRecovery(query_id); });
-}
-
-void ContextFactory::ProbeRecovery(const std::string& query_id) {
-  QueryRecord* record = query_manager_.Find(query_id);
-  if (record == nullptr) {
-    recovery_probes_.erase(query_id);
-    return;
-  }
-  const query::SourceSel preferred = record->preferred;
-  if (record->assigned.contains(preferred)) {
-    recovery_probes_.erase(query_id);
-    return;
-  }
-  // The only probe that needs real work is the BT-GPS one: re-run
-  // discovery (this is the 163-292 mW cost Fig. 5 attributes to the
-  // switches) and look for the NMEA service.
-  if (preferred == query::SourceSel::kIntSensor &&
-      (record->query.select_type == vocab::kLocation ||
-       record->query.select_type == vocab::kSpeed) &&
-      !internal_ref_.HasSourceOfType(record->query.select_type)) {
-    if (!bt_ref_.Available()) return;
-    bt_ref_.InvalidateDiscoveryCache();
-    bt_ref_.Discover(
-        SimDuration::zero(),
-        [this, query_id](Result<std::vector<net::BtDeviceInfo>> devices) {
-          if (!devices.ok() || devices->empty()) return;
-          QueryRecord* record = query_manager_.Find(query_id);
-          if (record == nullptr) return;
-          // Check each device for the GPS service, then switch back.
-          const auto device = devices->front();
-          bt_ref_.controller()->DiscoverServices(
-              device.node, sensors::kGpsServiceName,
-              [this, query_id](Result<std::vector<net::ServiceRecord>>
-                                   records) {
-                if (!records.ok() || records->empty()) return;
-                QueryRecord* record = query_manager_.Find(query_id);
-                if (record == nullptr) return;
-                const query::SourceSel preferred = record->preferred;
-                if (record->assigned.contains(preferred)) return;
-                // Tear down the stopgap mechanism and switch back.
-                for (const query::SourceSel kind : record->assigned) {
-                  facades_.at(kind)->Cancel(query_id);
-                }
-                const auto old = record->assigned;
-                record->assigned.clear();
-                record->failed.erase(preferred);
-                if (AssignToFacade(*record, preferred).ok()) {
-                  const query::SourceSel from =
-                      old.empty() ? preferred : *old.begin();
-                  switch_log_.push_back(SwitchEvent{
-                      services_.sim->Now(), query_id, from, preferred});
-                  CLOG_INFO(kModule, "query %s switched back to %s",
-                            query_id.c_str(),
-                            query::SourceSelName(preferred));
-                  if (record->client != nullptr) {
-                    record->client->InformError(
-                        std::string("provisioning restored to ") +
-                        query::SourceSelName(preferred));
-                  }
-                  recovery_probes_.erase(query_id);
-                }
-              });
-        });
-    return;
-  }
-  // Generic probe: switch back as soon as CanServe holds again.
-  std::set<query::SourceSel> exclude_all_but_preferred;
-  for (const query::SourceSel kind :
-       {query::SourceSel::kIntSensor, query::SourceSel::kAdHocNetwork,
-        query::SourceSel::kExtInfra}) {
-    if (kind != preferred) exclude_all_but_preferred.insert(kind);
-  }
-  const auto available =
-      SelectMechanism(record->query, exclude_all_but_preferred);
-  if (!available.ok()) return;
-  for (const query::SourceSel kind : record->assigned) {
-    facades_.at(kind)->Cancel(query_id);
-  }
-  const auto old = record->assigned;
-  record->assigned.clear();
-  record->failed.erase(preferred);
-  if (AssignToFacade(*record, preferred).ok()) {
-    switch_log_.push_back(SwitchEvent{services_.sim->Now(), query_id,
-                                      old.empty() ? preferred : *old.begin(),
-                                      preferred});
-    recovery_probes_.erase(query_id);
-  }
-}
-
-bool ContextFactory::EnterDegradedMode(QueryRecord& record,
-                                       const Status& cause) {
-  if (record.client == nullptr) return false;
-  if (record.degraded) return true;
-  const std::string id = record.query.id;
-  if (!repository_.Latest(record.query.select_type).ok()) {
-    return false;  // nothing cached: a stale answer is not possible
-  }
-  record.degraded = true;
-  CLOG_INFO(kModule, "query %s degraded (%s): serving stale repository data",
-            id.c_str(), cause.ToString().c_str());
-  record.client->InformError("query " + id +
-                             " degraded to stale repository data (" +
-                             cause.ToString() +
-                             "); no live provisioning mechanism");
-  if (record.query.mode() == query::InteractionMode::kOnDemand) {
-    // One stale answer completes an on-demand round.
-    DeliverDegraded(id);
-    recovery_probes_.erase(id);
-    query_manager_.Remove(id);
-    return true;
-  }
-  SimDuration period = config_.degraded_poll_period;
-  if (period <= SimDuration::zero()) {
-    period = record.query.every.value_or(std::chrono::seconds{5});
-  }
-  degraded_tasks_[id] = std::make_unique<sim::PeriodicTask>(
-      *services_.sim, period, [this, id] { DeliverDegraded(id); });
-  // First stale answer now, not one period from now.
-  DeliverDegraded(id);
-  recovery_probes_[id] = std::make_unique<sim::PeriodicTask>(
-      *services_.sim, config_.recovery_probe_period,
-      [this, id] { ProbeDegradedRecovery(id); });
-  return true;
-}
-
-void ContextFactory::DeliverDegraded(const std::string& query_id) {
-  QueryRecord* record = query_manager_.Find(query_id);
-  if (record == nullptr || !record->degraded || record->client == nullptr) {
-    degraded_tasks_.erase(query_id);
-    return;
-  }
-  // The DURATION clause keeps its meaning while degraded.
-  if (record->query.duration.time.has_value() &&
-      services_.sim->Now() >=
-          record->submitted + *record->query.duration.time) {
-    degraded_tasks_.erase(query_id);
-    recovery_probes_.erase(query_id);
-    query_manager_.Remove(query_id);
-    return;
-  }
-  auto item = repository_.Latest(record->query.select_type);
-  if (!item.ok()) return;  // cache expired under us; the probe keeps trying
-  item->metadata.staleness_seconds =
-      ToSeconds(services_.sim->Now() - item->timestamp);
-  ++degraded_deliveries_;
-  ++record->items_delivered;
-  record->client->ReceiveCxtItem(*item);
-}
-
-void ContextFactory::ProbeDegradedRecovery(const std::string& query_id) {
-  QueryRecord* record = query_manager_.Find(query_id);
-  if (record == nullptr || !record->degraded) {
-    recovery_probes_.erase(query_id);
-    return;
-  }
-  // While degraded, any live mechanism beats stale data: reconsider them
-  // all, including ones that failed earlier.
-  const auto kind = SelectMechanism(record->query, {});
-  if (!kind.ok()) return;  // everything still down
-  if (!AssignToFacade(*record, *kind).ok()) return;  // next probe retries
-  record->degraded = false;
-  record->failed.clear();
-  degraded_tasks_.erase(query_id);
-  // `from` approximates: degraded mode has no SourceSel of its own.
-  switch_log_.push_back(
-      SwitchEvent{services_.sim->Now(), query_id, record->preferred, *kind});
-  CLOG_INFO(kModule, "query %s recovered from degraded mode to %s",
-            query_id.c_str(), query::SourceSelName(*kind));
-  record->client->InformError(std::string("provisioning restored to ") +
-                              query::SourceSelName(*kind) +
-                              " after degraded mode");
-  recovery_probes_.erase(query_id);  // safe: PeriodicTask survives this
+  coordinator_.DropQuery(query_id);
+  router_.OnQueryCancelled(query_id);
+  table_.Finish(query_id);
 }
 
 bool ContextFactory::IsDegraded(const std::string& query_id) const {
-  const QueryRecord* record = query_manager_.Find(query_id);
-  return record != nullptr && record->degraded;
+  const QueryRecord* record = table_.Find(query_id);
+  return record != nullptr && record->degraded();
 }
 
 std::uint64_t ContextFactory::total_retries() const {
@@ -580,22 +254,14 @@ void ContextFactory::StoreCxtItem(const CxtItem& item,
     if (done) done(Unavailable("no infrastructure connectivity"));
     return;  // local-only until connectivity returns
   }
-  ByteWriter w;
-  w.WriteU8(static_cast<std::uint8_t>(infra::ServerOp::kStore));
-  w.WriteString(services_.phone->name());
   const auto pos = services_.medium->GetPosition(services_.node);
-  w.WriteBool(pos.ok());
-  if (pos.ok()) {
-    const GeoPoint geo = sensors::ToGeo(*pos);
-    w.WriteF64(geo.lat);
-    w.WriteF64(geo.lon);
-  }
-  item.Encode(w);
-  if (w.size() < infra::kEventNotificationBytes) {
-    w.WritePadding(infra::kEventNotificationBytes - w.size());
-  }
   cell_ref_.SendRequest(
-      services_.default_infra_address, std::move(w).Take(),
+      services_.default_infra_address,
+      infra::EncodeStoreRequest(
+          services_.phone->name(),
+          pos.ok() ? std::optional<GeoPoint>{sensors::ToGeo(*pos)}
+                   : std::nullopt,
+          item),
       [done = std::move(done)](Result<std::vector<std::byte>> r) {
         if (done) done(r.ok() ? Status::Ok() : r.status());
       });
@@ -603,14 +269,7 @@ void ContextFactory::StoreCxtItem(const CxtItem& item,
 
 Status ContextFactory::EnableFusion(const std::string& query_id,
                                     AggregatorConfig config) {
-  if (query_manager_.Find(query_id) == nullptr) {
-    return NotFound("no active query '" + query_id + "'");
-  }
-  aggregators_.erase(query_id);
-  aggregators_.emplace(std::piecewise_construct,
-                       std::forward_as_tuple(query_id),
-                       std::forward_as_tuple(*services_.sim, config));
-  return Status::Ok();
+  return router_.EnableFusion(query_id, config);
 }
 
 Status ContextFactory::RegisterCxtServer(Client& client) {
@@ -627,56 +286,7 @@ void ContextFactory::DeregisterCxtServer(Client& client) {
 
 void ContextFactory::AddControlPolicy(ContextRule rule) {
   rules_.AddRule(std::move(rule));
-  EvaluatePolicies();
-}
-
-void ContextFactory::EvaluatePolicies() {
-  const auto actions = rules_.Evaluate(monitor_.AsLookup());
-  const auto newly_active = [&](RuleAction a) {
-    return actions.contains(a) && !active_actions_.contains(a);
-  };
-  const bool power = newly_active(RuleAction::kReducePower);
-  const bool memory = newly_active(RuleAction::kReduceMemory);
-  const bool load = newly_active(RuleAction::kReduceLoad);
-  active_actions_ = actions;
-  if (power) EnforceReducePower();
-  if (memory) EnforceReduceMemory();
-  if (load) EnforceReduceLoad();
-}
-
-void ContextFactory::EnforceReducePower() {
-  // "the activation of the reducePower action can cause the suspension or
-  // termination of high energy-consuming queries (e.g., those using the
-  // 2G/3GReference)".
-  CLOG_INFO(kModule, "reducePower active: suspending extInfra queries");
-  facades_.at(query::SourceSel::kExtInfra)
-      ->StopAll(ResourceExhausted("reducePower policy suspended the query"));
-}
-
-void ContextFactory::EnforceReduceMemory() {
-  const std::size_t target =
-      std::max<std::size_t>(1, repository_.capacity_per_type() / 2);
-  CLOG_INFO(kModule, "reduceMemory active: repository rings -> %zu", target);
-  repository_.Shrink(target);
-}
-
-void ContextFactory::EnforceReduceLoad() {
-  // Keep at most reduce_load_provider_cap providers: suspend the rest,
-  // preferring to keep the cheap mechanisms.
-  std::size_t active = active_provider_count();
-  if (active <= config_.reduce_load_provider_cap) return;
-  CLOG_INFO(kModule, "reduceLoad active: %zu providers > cap %zu", active,
-            config_.reduce_load_provider_cap);
-  for (const query::SourceSel kind :
-       {query::SourceSel::kExtInfra, query::SourceSel::kAdHocNetwork,
-        query::SourceSel::kIntSensor}) {
-    if (active <= config_.reduce_load_provider_cap) break;
-    Facade& f = *facades_.at(kind);
-    const std::size_t here = f.active_provider_count();
-    if (here == 0) continue;
-    f.StopAll(ResourceExhausted("reduceLoad policy suspended the query"));
-    active -= here;
-  }
+  policy_.Evaluate();
 }
 
 }  // namespace contory::core

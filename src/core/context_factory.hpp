@@ -6,17 +6,16 @@
 // but lets Facade components (subclasses) decide which ContextProvider
 // components (classes) to instantiate."
 //
-// Responsibilities implemented here:
-//  * the paper's public interface (processCxtQuery, cancelCxtQuery,
-//    publishCxtItem, storeCxtItem, registerCxtServer, deregisterCxtServer);
-//  * mechanism selection for transparent (FROM-less) queries, "based on
-//    the requirements specified in the query's FROM clause, based on
-//    sensor availability, and in the respect of the active control
-//    policies";
-//  * failover: when a provider fails, re-selection excluding the failed
-//    mechanism, plus a recovery probe that switches back when the
-//    preferred mechanism (e.g. the BT-GPS) reappears — the Fig. 5 cycle;
-//  * control-policy enforcement (reducePower / reduceMemory / reduceLoad).
+// The factory is a thin composition root over the four-stage query
+// lifecycle pipeline (docs/ARCHITECTURE.md):
+//   1. Admission        — validation, access control, policy gates
+//   2. StrategyPlanner  — FROM clause -> ProvisioningPlan
+//   3. Facades          — provider clustering per mechanism
+//   4. DeliveryRouter   — dedup, fusion, repository, client queues
+// with the FailoverCoordinator reacting to mechanism failures and the
+// QueryTable owning every query's lifecycle record. What remains here:
+// provider construction (the Factory Method itself), facade wiring,
+// the publish/store paths, and control-policy enforcement.
 #pragma once
 
 #include <map>
@@ -29,10 +28,15 @@
 #include "core/client.hpp"
 #include "core/device_services.hpp"
 #include "core/facade.hpp"
+#include "core/pipeline/admission.hpp"
+#include "core/pipeline/delivery_router.hpp"
+#include "core/pipeline/failover_coordinator.hpp"
+#include "core/pipeline/query_table.hpp"
+#include "core/pipeline/strategy_planner.hpp"
+#include "core/policy_enforcer.hpp"
 #include "core/providers/adhoc_provider.hpp"
 #include "core/providers/aggregator.hpp"
 #include "core/publisher.hpp"
-#include "core/query_manager.hpp"
 #include "core/references/bt_reference.hpp"
 #include "core/references/cellular_reference.hpp"
 #include "core/references/internal_reference.hpp"
@@ -120,15 +124,20 @@ class ContextFactory {
   void AddControlPolicy(ContextRule rule);
   /// Actions active at the last policy evaluation.
   [[nodiscard]] const std::set<RuleAction>& active_actions() const noexcept {
-    return active_actions_;
+    return policy_.active_actions();
   }
 
   // --- Introspection (tests, benches, examples) ------------------------
-  [[nodiscard]] QueryManager& queries() noexcept { return query_manager_; }
+  [[nodiscard]] QueryTable& queries() noexcept { return table_; }
+  [[nodiscard]] const QueryTable& queries() const noexcept { return table_; }
   [[nodiscard]] ResourcesMonitor& resources() noexcept { return monitor_; }
   [[nodiscard]] AccessController& access() noexcept { return access_; }
   [[nodiscard]] CxtRepository& repository() noexcept { return repository_; }
   [[nodiscard]] CxtPublisher& publisher() noexcept { return *publisher_; }
+  [[nodiscard]] DeliveryRouter& router() noexcept { return router_; }
+  [[nodiscard]] FailoverCoordinator& failover() noexcept {
+    return coordinator_;
+  }
   [[nodiscard]] InternalReference& internal_reference() noexcept {
     return internal_ref_;
   }
@@ -137,8 +146,16 @@ class ContextFactory {
   [[nodiscard]] CellularReference& cellular_reference() noexcept {
     return cell_ref_;
   }
-  [[nodiscard]] Facade& facade(query::SourceSel kind);
-  [[nodiscard]] std::size_t active_provider_count() const;
+  [[nodiscard]] Facade& facade(query::SourceSel kind) {
+    return *facades_.at(kind);
+  }
+  [[nodiscard]] std::size_t active_provider_count() const {
+    std::size_t n = 0;
+    for (const auto& [kind, facade] : facades_) {
+      n += facade->active_provider_count();
+    }
+    return n;
+  }
 
   /// The mechanism currently provisioning `query_id` (diagnostics; the
   /// Fig. 5 bench reads this to timestamp the switches).
@@ -146,14 +163,9 @@ class ContextFactory {
       const std::string& query_id) const;
 
   /// Log of provisioning switches: (time, query id, from, to).
-  struct SwitchEvent {
-    SimTime at;
-    std::string query_id;
-    query::SourceSel from;
-    query::SourceSel to;
-  };
+  using SwitchEvent = core::SwitchEvent;
   [[nodiscard]] const std::vector<SwitchEvent>& switch_log() const noexcept {
-    return switch_log_;
+    return coordinator_.switch_log();
   }
 
   /// True while `query_id` is served from the local repository because no
@@ -161,7 +173,7 @@ class ContextFactory {
   [[nodiscard]] bool IsDegraded(const std::string& query_id) const;
   /// Stale items handed out by degraded mode so far.
   [[nodiscard]] std::uint64_t degraded_deliveries() const noexcept {
-    return degraded_deliveries_;
+    return coordinator_.degraded_deliveries();
   }
   /// Transient-failure retries across all facades' providers.
   [[nodiscard]] std::uint64_t total_retries() const;
@@ -173,36 +185,7 @@ class ContextFactory {
       query::SourceSel kind, query::CxtQuery q,
       CxtProvider::Callbacks callbacks);
 
-  /// Mechanism selection for one query, excluding `excluded` kinds.
-  /// "in resource-rich environments, powerful context infrastructures can
-  /// provide applications with required context data ... Conversely, in
-  /// resource-impoverished environments, devices can rely either on their
-  /// own sensors ... or on neighboring devices."
-  [[nodiscard]] Result<query::SourceSel> SelectMechanism(
-      const query::CxtQuery& q,
-      const std::set<query::SourceSel>& excluded) const;
-
   Status AssignToFacade(QueryRecord& record, query::SourceSel kind);
-  void OnDelivery(query::SourceSel kind, const std::string& query_id,
-                  const CxtItem& item);
-  void OnFinished(query::SourceSel kind, const std::string& query_id,
-                  const Status& status);
-  void TryFailover(QueryRecord& record, query::SourceSel failed_kind,
-                   const Status& status);
-  void StartRecoveryProbe(const std::string& query_id);
-  void ProbeRecovery(const std::string& query_id);
-
-  /// Degraded mode: serve stale repository data when every mechanism is
-  /// down. Returns false when there is nothing cached to serve (the caller
-  /// falls back to the hard error path).
-  bool EnterDegradedMode(QueryRecord& record, const Status& cause);
-  void DeliverDegraded(const std::string& query_id);
-  void ProbeDegradedRecovery(const std::string& query_id);
-
-  void EvaluatePolicies();
-  void EnforceReducePower();
-  void EnforceReduceMemory();
-  void EnforceReduceLoad();
 
   DeviceServices services_;
   ContextFactoryConfig config_;
@@ -216,20 +199,21 @@ class ContextFactory {
   AccessController access_;
   CxtRepository repository_;
   std::unique_ptr<CxtPublisher> publisher_;
-  QueryManager query_manager_;
   RulesEngine rules_;
-
   std::map<query::SourceSel, std::unique_ptr<Facade>> facades_;
+  PolicyEnforcer policy_;
+
+  // Pipeline stages (construction order matters: the planner reads the
+  // enforcer's active-action set; the coordinator wires everything
+  // together).
+  QueryTable table_;
+  StrategyPlanner planner_;
+  AdmissionController admission_;
+  DeliveryRouter router_;
+  FailoverCoordinator coordinator_;
+
   std::set<Client*> registered_servers_;
-  std::set<RuleAction> active_actions_;
   std::unique_ptr<sim::PeriodicTask> policy_task_;
-  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> recovery_probes_;
-  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> degraded_tasks_;
-  std::uint64_t degraded_deliveries_ = 0;
-  std::vector<SwitchEvent> switch_log_;
-  /// Per-query fusion aggregators (EnableFusion-style API could extend
-  /// this; pass-through dedup is handled by the QueryManager).
-  std::map<std::string, CxtAggregator> aggregators_;
   std::shared_ptr<bool> life_ = std::make_shared<bool>(true);
 };
 

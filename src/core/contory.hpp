@@ -30,8 +30,12 @@
 #include "core/query/merge.hpp"
 #include "core/query/parser.hpp"
 #include "core/query/predicate.hpp"
+#include "core/pipeline/admission.hpp"
+#include "core/pipeline/delivery_router.hpp"
+#include "core/pipeline/failover_coordinator.hpp"
+#include "core/pipeline/query_table.hpp"
+#include "core/pipeline/strategy_planner.hpp"
 #include "core/query/query.hpp"
-#include "core/query_manager.hpp"
 #include "core/repository.hpp"
 #include "core/resources_monitor.hpp"
 #include "core/rules.hpp"

@@ -1,0 +1,15 @@
+#include "core/device_services.hpp"
+
+#include <stdexcept>
+
+namespace contory::core {
+
+void DeviceServices::CheckRequired() const {
+  if (sim == nullptr || phone == nullptr || medium == nullptr ||
+      node == net::kInvalidNode) {
+    throw std::invalid_argument(
+        "DeviceServices: sim, phone, medium, and node are required");
+  }
+}
+
+}  // namespace contory::core

@@ -22,6 +22,10 @@ Facade::Facade(sim::Simulation& sim, query::SourceSel kind,
 
 Facade::~Facade() { *life_ = false; }
 
+Facade::ClusterKey Facade::KeyFor(const query::CxtQuery& q) {
+  return {q.select_type, static_cast<int>(q.mode())};
+}
+
 Status Facade::StartCluster(Cluster& cluster) {
   Cluster* cluster_ptr = &cluster;
   CxtProvider::Callbacks callbacks;
@@ -46,46 +50,90 @@ Status Facade::StartCluster(Cluster& cluster) {
 Status Facade::Submit(query::CxtQuery q) {
   if (const Status s = q.Validate(); !s.ok()) return s;
 
-  // Query merging: join the first compatible live cluster.
-  for (auto& cluster : clusters_) {
-    if (cluster->dead) continue;
-    auto merged = query::Merge(cluster->merged, q, policy_);
-    if (!merged.ok()) continue;
-    CLOG_DEBUG(kModule, "%s: merged %s into %s",
-               query::SourceSelName(kind_), q.id.c_str(),
-               cluster->merged.id.c_str());
-    cluster->merged = *std::move(merged);
-    cluster->originals.push_back(std::move(q));
-    cluster->provider->UpdateQuery(cluster->merged);
-    return Status::Ok();
+  // Query merging: only clusters under the same (select_type, mode) key
+  // can possibly accept the query; join the first compatible one.
+  const ClusterKey key = KeyFor(q);
+  const auto bucket_it = merge_index_.find(key);
+  if (bucket_it != merge_index_.end()) {
+    for (Cluster* cluster : bucket_it->second) {
+      if (cluster->dead) continue;
+      auto merged = query::Merge(cluster->merged, q, policy_);
+      if (!merged.ok()) continue;
+      CLOG_DEBUG(kModule, "%s: merged %s into %s",
+                 query::SourceSelName(kind_), q.id.c_str(),
+                 cluster->merged.id.c_str());
+      cluster->merged = *std::move(merged);
+      by_original_id_[q.id] = cluster;
+      ++live_originals_;
+      cluster->originals.push_back(std::move(q));
+      cluster->provider->UpdateQuery(cluster->merged);
+      return Status::Ok();
+    }
   }
 
   auto cluster = std::make_unique<Cluster>();
+  cluster->key = key;
   cluster->merged = q;
+  const std::string id = q.id;
   cluster->originals.push_back(std::move(q));
   Cluster& ref = *cluster;
   clusters_.push_back(std::move(cluster));
   const Status s = StartCluster(ref);
   if (!s.ok()) {
     clusters_.pop_back();
+    return s;
+  }
+  // A provider that failed from inside its own Start() already marked the
+  // cluster dead; it never enters the indexes (the reap destroys it).
+  if (!ref.dead) {
+    ref.indexed = true;
+    ++live_clusters_;
+    ++live_originals_;
+    merge_index_[key].push_back(&ref);
+    by_original_id_[id] = &ref;
   }
   return s;
+}
+
+void Facade::MarkDead(Cluster& cluster) {
+  cluster.dead = true;
+  if (!cluster.indexed) return;
+  cluster.indexed = false;
+  --live_clusters_;
+  live_originals_ -= cluster.originals.size();
+  for (const auto& original : cluster.originals) {
+    const auto it = by_original_id_.find(original.id);
+    if (it != by_original_id_.end() && it->second == &cluster) {
+      by_original_id_.erase(it);
+    }
+  }
+  const auto bucket_it = merge_index_.find(cluster.key);
+  if (bucket_it != merge_index_.end()) {
+    std::erase(bucket_it->second, &cluster);
+    if (bucket_it->second.empty()) merge_index_.erase(bucket_it);
+  }
 }
 
 void Facade::OnProviderDelivery(Cluster& cluster, const CxtItem& item) {
   if (cluster.dead || !delivery_) return;
   // Post-extraction: each original query gets exactly the data matching
-  // its own clauses.
+  // its own clauses. Matching ids are snapshotted first so a client that
+  // cancels queries from inside its delivery callback cannot invalidate
+  // the iteration.
+  std::vector<std::string> matched;
   for (const auto& original : cluster.originals) {
     if (query::PostExtract(original, item, sim_.Now())) {
-      delivery_(original.id, item);
+      matched.push_back(original.id);
     }
+  }
+  for (const auto& id : matched) {
+    delivery_(id, item);
   }
 }
 
 void Facade::OnProviderFinished(Cluster& cluster, const Status& status) {
   if (cluster.dead) return;
-  cluster.dead = true;
+  MarkDead(cluster);
   if (&cluster == starting_) {
     // The provider failed from inside its own Start() (e.g. a cached but
     // empty discovery answers synchronously), so Submit() is still on the
@@ -132,57 +180,46 @@ void Facade::ScheduleReap() {
 }
 
 void Facade::Cancel(const std::string& query_id) {
-  for (auto& cluster : clusters_) {
-    if (cluster->dead) continue;
-    const auto it = std::find_if(
-        cluster->originals.begin(), cluster->originals.end(),
-        [&](const query::CxtQuery& q) { return q.id == query_id; });
-    if (it == cluster->originals.end()) continue;
-    cluster->originals.erase(it);
-    if (cluster->originals.empty()) {
-      cluster->provider->Stop();
-      cluster->dead = true;
-      ScheduleReap();
-      return;
-    }
-    // Re-merge the remaining originals so the provider narrows back.
-    auto merged = query::MergeAll(cluster->originals, policy_);
-    if (merged.ok()) {
-      cluster->merged = *std::move(merged);
-      cluster->provider->UpdateQuery(cluster->merged);
-    }
+  const auto it = by_original_id_.find(query_id);
+  if (it == by_original_id_.end()) return;
+  Cluster* cluster = it->second;
+  if (cluster->dead) return;
+  const auto orig_it = std::find_if(
+      cluster->originals.begin(), cluster->originals.end(),
+      [&](const query::CxtQuery& q) { return q.id == query_id; });
+  if (orig_it == cluster->originals.end()) return;
+  cluster->originals.erase(orig_it);
+  --live_originals_;
+  by_original_id_.erase(it);
+  if (cluster->originals.empty()) {
+    cluster->provider->Stop();
+    MarkDead(*cluster);
+    ScheduleReap();
     return;
+  }
+  // Re-merge the remaining originals so the provider narrows back.
+  auto merged = query::MergeAll(cluster->originals, policy_);
+  if (merged.ok()) {
+    cluster->merged = *std::move(merged);
+    cluster->provider->UpdateQuery(cluster->merged);
   }
 }
 
 void Facade::StopAll(const Status& status) {
-  for (auto& cluster : clusters_) {
-    if (cluster->dead) continue;
-    cluster->provider->Stop();
-    cluster->dead = true;
+  // Index loop: finished_ may reenter this facade (failover submitting a
+  // replacement) and grow clusters_.
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    Cluster& cluster = *clusters_[i];
+    if (cluster.dead) continue;
+    cluster.provider->Stop();
+    MarkDead(cluster);
     if (finished_) {
-      for (const auto& original : cluster->originals) {
+      for (const auto& original : cluster.originals) {
         finished_(original.id, status);
       }
     }
   }
   ScheduleReap();
-}
-
-std::size_t Facade::active_provider_count() const {
-  std::size_t n = 0;
-  for (const auto& cluster : clusters_) {
-    if (!cluster->dead) ++n;
-  }
-  return n;
-}
-
-std::size_t Facade::active_original_count() const {
-  std::size_t n = 0;
-  for (const auto& cluster : clusters_) {
-    if (!cluster->dead) n += cluster->originals.size();
-  }
-  return n;
 }
 
 std::uint64_t Facade::retries_observed() const {

@@ -9,11 +9,23 @@
 // "CxtProviders of different Facades can be assigned to the same query,
 // but each CxtProvider is assigned only to one (single or merged) query
 // at time."
+//
+// Cluster matching is indexed, not scanned: query merging structurally
+// requires equal SELECT type and interaction mode (query::QueryDistance
+// returns +inf otherwise), so clusters are bucketed by (select_type,
+// mode) — the source is this facade itself — and Submit only runs the
+// full Merge check inside the one bucket that could possibly accept the
+// query. Cancel resolves the owning cluster through a per-original-id
+// map. Both stay O(bucket) instead of O(#clusters) as populations reach
+// the thousands.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/providers/provider.hpp"
@@ -59,8 +71,12 @@ class Facade {
   /// control-policy enforcement: reducePower suspends queries).
   void StopAll(const Status& status);
 
-  [[nodiscard]] std::size_t active_provider_count() const;
-  [[nodiscard]] std::size_t active_original_count() const;
+  [[nodiscard]] std::size_t active_provider_count() const noexcept {
+    return live_clusters_;
+  }
+  [[nodiscard]] std::size_t active_original_count() const noexcept {
+    return live_originals_;
+  }
   /// The merged query texts currently driving providers (diagnostics).
   [[nodiscard]] std::vector<std::string> ActiveMergedIds() const;
   /// Total providers ever created (the merging ablation's key metric).
@@ -72,15 +88,29 @@ class Facade {
   [[nodiscard]] std::uint64_t retries_observed() const;
 
  private:
+  /// Merge-compatibility bucket: SELECT type and interaction mode are
+  /// hard gates in query::QueryDistance, so only clusters under the same
+  /// key can ever accept the query.
+  using ClusterKey = std::pair<std::string, int>;
+
   struct Cluster {
+    ClusterKey key;
     query::CxtQuery merged;
     std::vector<query::CxtQuery> originals;
     std::unique_ptr<CxtProvider> provider;
     bool dead = false;
+    /// True while the cluster is present in merge_index_/by_original_id_
+    /// and counted in the live totals (set after a successful start).
+    bool indexed = false;
   };
+
+  [[nodiscard]] static ClusterKey KeyFor(const query::CxtQuery& q);
 
   void OnProviderDelivery(Cluster& cluster, const CxtItem& item);
   void OnProviderFinished(Cluster& cluster, const Status& status);
+  /// Marks a cluster dead and detaches it from both indexes; the object
+  /// itself is destroyed later by the reap.
+  void MarkDead(Cluster& cluster);
   /// Destroys dead clusters outside provider callbacks.
   void ScheduleReap();
   Status StartCluster(Cluster& cluster);
@@ -92,6 +122,12 @@ class Facade {
   Delivery delivery_;
   Finished finished_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
+  /// Live clusters by merge-compatibility key (Submit's candidate set).
+  std::map<ClusterKey, std::vector<Cluster*>> merge_index_;
+  /// Live original query id -> owning cluster (Cancel's lookup).
+  std::unordered_map<std::string, Cluster*> by_original_id_;
+  std::size_t live_clusters_ = 0;
+  std::size_t live_originals_ = 0;
   /// Non-null while the named cluster's provider is inside Start(); a
   /// finish arriving then is deferred to a fresh event (see
   /// OnProviderFinished).

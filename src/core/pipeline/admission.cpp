@@ -1,0 +1,42 @@
+#include "core/pipeline/admission.hpp"
+
+namespace contory::core {
+
+Status AdmissionController::Admit(
+    query::CxtQuery& query, Client& client,
+    const std::set<RuleAction>& active_actions) {
+  if (const Status s = query.Validate(); !s.ok()) return s;
+  if (query.id.empty()) {
+    query.id = sim_.ids().NextId("q");
+  }
+
+  // AccessController screening: a FROM source naming a blocked address is
+  // refused outright ("the AccessController keeps track ... of blocked
+  // context sources").
+  bool extinfra_only = !query.from.IsAuto();
+  for (const auto& src : query.from.sources) {
+    if (!src.address.empty() && access_.IsBlocked(src.address)) {
+      return PermissionDenied("FROM source '" + src.address +
+                              "' is blocked by the access controller");
+    }
+    // An auto source inside an explicit FROM resolves to extInfra.
+    if (src.kind != query::SourceSel::kExtInfra &&
+        src.kind != query::SourceSel::kAuto) {
+      extinfra_only = false;
+    }
+  }
+
+  // Policy gate: while reducePower is active, new queries that could only
+  // ever use the 2G/3G mechanism are refused at the door — admitting them
+  // just to StopAll them at the next policy tick wastes a connection
+  // setup (the paper's "suspension or termination of high
+  // energy-consuming queries", applied at admission).
+  if (extinfra_only && active_actions.contains(RuleAction::kReducePower)) {
+    return ResourceExhausted(
+        "reducePower policy refuses new extInfra-only queries");
+  }
+
+  return table_.Admit(query, client);
+}
+
+}  // namespace contory::core

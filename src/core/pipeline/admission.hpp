@@ -1,0 +1,40 @@
+// Admission (pipeline stage 1 of 4).
+//
+// Everything that can reject a query before any provisioning work
+// happens: structural validation, id assignment, AccessController
+// screening of the FROM sources, and control-policy gates. A query that
+// passes is registered in the QueryTable in state ADMITTED.
+#pragma once
+
+#include <set>
+
+#include "common/status.hpp"
+#include "core/access_controller.hpp"
+#include "core/client.hpp"
+#include "core/pipeline/query_table.hpp"
+#include "core/query/query.hpp"
+#include "core/rules.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+class AdmissionController {
+ public:
+  AdmissionController(sim::Simulation& sim, AccessController& access,
+                      QueryTable& table)
+      : sim_(sim), access_(access), table_(table) {}
+
+  /// Validates `query`, assigns an id when it has none, applies the
+  /// access-control and policy gates, and registers the lifecycle record.
+  /// On error nothing is registered; on success `query.id` names the
+  /// ADMITTED record.
+  Status Admit(query::CxtQuery& query, Client& client,
+               const std::set<RuleAction>& active_actions);
+
+ private:
+  sim::Simulation& sim_;
+  AccessController& access_;
+  QueryTable& table_;
+};
+
+}  // namespace contory::core

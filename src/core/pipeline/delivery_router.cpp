@@ -1,0 +1,80 @@
+#include "core/pipeline/delivery_router.hpp"
+
+#include <utility>
+
+namespace contory::core {
+
+void DeliveryRouter::OnFacadeDelivery(const std::string& query_id,
+                                      const CxtItem& item) {
+  QueryRecord* record = table_.Find(query_id);
+  if (record == nullptr || record->client == nullptr) return;
+  // Dedup by item id only when several mechanisms serve the query; a
+  // single mechanism legitimately re-delivers an unchanged observation on
+  // every periodic round.
+  const bool multi_mechanism = record->assigned.size() > 1;
+  const bool fresh = table_.RecordDelivery(*record, item.id);
+  if (!fresh) {
+    if (multi_mechanism) return;  // duplicate across mechanisms
+    ++record->items_delivered;    // same observation, new periodic round
+  }
+  // Optional fusion aggregation for multi-mechanism queries.
+  const auto agg = aggregators_.find(query_id);
+  if (agg != aggregators_.end()) {
+    auto fused = agg->second.Process(item);
+    if (!fused.has_value()) return;
+    repository_.Store(*fused);
+    Route(*record, *fused);
+    return;
+  }
+  repository_.Store(item);
+  Route(*record, item);
+}
+
+void DeliveryRouter::DeliverStale(QueryRecord& record, CxtItem item) {
+  item.metadata.staleness_seconds =
+      ToSeconds(sim_.Now() - item.timestamp);
+  ++record.items_delivered;
+  Route(record, item);
+}
+
+void DeliveryRouter::Route(QueryRecord& record, const CxtItem& item) {
+  Client* client = record.client;
+  ClientQueue& queue = queues_[client];
+  queue.items.push_back(Pending{record.query.id, item});
+  if (queue.draining) return;  // the outer drain hands it over in order
+  queue.draining = true;
+  while (!queue.items.empty()) {
+    Pending next = std::move(queue.items.front());
+    queue.items.pop_front();
+    ++items_routed_;
+    client->ReceiveCxtItem(next.item);
+  }
+  queue.draining = false;
+}
+
+Status DeliveryRouter::EnableFusion(const std::string& query_id,
+                                    AggregatorConfig config) {
+  if (table_.Find(query_id) == nullptr) {
+    return NotFound("no active query '" + query_id + "'");
+  }
+  aggregators_.erase(query_id);
+  aggregators_.emplace(std::piecewise_construct,
+                       std::forward_as_tuple(query_id),
+                       std::forward_as_tuple(sim_, config));
+  return Status::Ok();
+}
+
+void DeliveryRouter::OnQueryFinished(const std::string& query_id) {
+  aggregators_.erase(query_id);
+}
+
+void DeliveryRouter::OnQueryCancelled(const std::string& query_id) {
+  aggregators_.erase(query_id);
+  for (auto& [client, queue] : queues_) {
+    std::erase_if(queue.items, [&](const Pending& p) {
+      return p.query_id == query_id;
+    });
+  }
+}
+
+}  // namespace contory::core

@@ -1,0 +1,284 @@
+#include "core/pipeline/failover_coordinator.hpp"
+
+#include "common/logging.hpp"
+#include "core/model/vocabulary.hpp"
+#include "sensors/gps.hpp"
+
+namespace contory::core {
+namespace {
+constexpr const char* kModule = "failover";
+}
+
+FailoverCoordinator::FailoverCoordinator(
+    sim::Simulation& sim, FailoverConfig config, QueryTable& table,
+    StrategyPlanner& planner, CxtRepository& repository,
+    DeliveryRouter& router, const InternalReference& internal_ref,
+    BTReference& bt_ref, Hooks hooks)
+    : sim_(sim),
+      config_(config),
+      table_(table),
+      planner_(planner),
+      repository_(repository),
+      router_(router),
+      internal_ref_(internal_ref),
+      bt_ref_(bt_ref),
+      hooks_(std::move(hooks)) {
+  if (!hooks_.assign || !hooks_.cancel) {
+    throw std::invalid_argument("FailoverCoordinator: incomplete hooks");
+  }
+}
+
+void FailoverCoordinator::FinishQuery(const std::string& query_id) {
+  recovery_probes_.erase(query_id);
+  degraded_tasks_.erase(query_id);
+  router_.OnQueryFinished(query_id);
+  table_.Finish(query_id);
+}
+
+void FailoverCoordinator::DropQuery(const std::string& query_id) {
+  recovery_probes_.erase(query_id);
+  degraded_tasks_.erase(query_id);
+}
+
+void FailoverCoordinator::OnFacadeFinished(query::SourceSel kind,
+                                           const std::string& query_id,
+                                           const Status& status) {
+  QueryRecord* record = table_.Find(query_id);
+  if (record == nullptr) return;
+  record->assigned.erase(kind);
+  if (status.ok()) {
+    // Duration complete on this mechanism; the query is over when no
+    // facade still serves it.
+    if (record->assigned.empty()) FinishQuery(query_id);
+    return;
+  }
+  CLOG_INFO(kModule, "query %s failed on %s: %s", query_id.c_str(),
+            query::SourceSelName(kind), status.ToString().c_str());
+  record->failed.insert(kind);
+  table_.Transition(*record, QueryState::kFailingOver);
+  TryFailover(*record, kind, status);
+}
+
+void FailoverCoordinator::TryFailover(QueryRecord& record,
+                                      query::SourceSel failed_kind,
+                                      const Status& status) {
+  // "if a BT-GPS device suddenly disconnects, the location provisioning
+  // task can be moved from a LocalLocationProvider ... to an
+  // AdHocLocationProvider". Mechanisms that already failed — or still
+  // serve the query — are not candidates.
+  std::set<query::SourceSel> excluded = record.failed;
+  excluded.insert(record.assigned.begin(), record.assigned.end());
+  const auto replacement = planner_.SelectMechanism(record.query, excluded);
+  if (!replacement.ok()) {
+    // Last resort before erroring out: serve whatever the repository
+    // still holds, annotated with its age.
+    if (config_.enable_degraded_mode && EnterDegradedMode(record, status)) {
+      return;
+    }
+    if (record.client != nullptr) {
+      record.client->InformError("query " + record.query.id +
+                                 " lost its provisioning mechanism (" +
+                                 status.ToString() +
+                                 ") and no alternative is available");
+    }
+    if (record.assigned.empty()) {
+      FinishQuery(record.query.id);
+    } else {
+      // Another mechanism still serves the query; resume normal life.
+      table_.Transition(record, QueryState::kActive);
+    }
+    return;
+  }
+  const Status s = hooks_.assign(record, *replacement);
+  if (!s.ok()) {
+    record.failed.insert(*replacement);
+    TryFailover(record, failed_kind, status);
+    return;
+  }
+  table_.Transition(record, QueryState::kActive);
+  switch_log_.push_back(SwitchEvent{sim_.Now(), record.query.id,
+                                    failed_kind, *replacement});
+  CLOG_INFO(kModule, "query %s switched %s -> %s", record.query.id.c_str(),
+            query::SourceSelName(failed_kind),
+            query::SourceSelName(*replacement));
+  if (record.client != nullptr) {
+    record.client->InformError(
+        std::string("provisioning switched from ") +
+        query::SourceSelName(failed_kind) + " to " +
+        query::SourceSelName(*replacement));
+  }
+  // Arm the switch-back probe toward the preferred mechanism.
+  if (record.plan.preferred == failed_kind) {
+    StartRecoveryProbe(record.query.id);
+  }
+}
+
+void FailoverCoordinator::StartRecoveryProbe(const std::string& query_id) {
+  if (recovery_probes_.contains(query_id)) return;
+  recovery_probes_[query_id] = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.recovery_probe_period,
+      [this, query_id] { ProbeRecovery(query_id); });
+}
+
+bool FailoverCoordinator::SwitchBackToPreferred(QueryRecord& record) {
+  const std::string query_id = record.query.id;
+  const query::SourceSel preferred = record.plan.preferred;
+  // Tear down the stopgap mechanism(s) and switch back.
+  for (const query::SourceSel kind : record.assigned) {
+    hooks_.cancel(query_id, kind);
+  }
+  const auto old = record.assigned;
+  record.assigned.clear();
+  record.failed.erase(preferred);
+  if (!hooks_.assign(record, preferred).ok()) return false;
+  switch_log_.push_back(SwitchEvent{sim_.Now(), query_id,
+                                    old.empty() ? preferred : *old.begin(),
+                                    preferred});
+  recovery_probes_.erase(query_id);  // safe: PeriodicTask survives this
+  return true;
+}
+
+void FailoverCoordinator::ProbeRecovery(const std::string& query_id) {
+  QueryRecord* record = table_.Find(query_id);
+  if (record == nullptr) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  const query::SourceSel preferred = record->plan.preferred;
+  if (record->assigned.contains(preferred)) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  // The only probe that needs real work is the BT-GPS one: re-run
+  // discovery (this is the 163-292 mW cost Fig. 5 attributes to the
+  // switches) and look for the NMEA service.
+  if (preferred == query::SourceSel::kIntSensor &&
+      (record->query.select_type == vocab::kLocation ||
+       record->query.select_type == vocab::kSpeed) &&
+      !internal_ref_.HasSourceOfType(record->query.select_type)) {
+    if (!bt_ref_.Available()) return;
+    bt_ref_.InvalidateDiscoveryCache();
+    bt_ref_.Discover(
+        SimDuration::zero(),
+        [this, query_id](Result<std::vector<net::BtDeviceInfo>> devices) {
+          if (!devices.ok() || devices->empty()) return;
+          if (table_.Find(query_id) == nullptr) return;
+          // Check each device for the GPS service, then switch back.
+          const auto device = devices->front();
+          bt_ref_.controller()->DiscoverServices(
+              device.node, sensors::kGpsServiceName,
+              [this, query_id](Result<std::vector<net::ServiceRecord>>
+                                   records) {
+                if (!records.ok() || records->empty()) return;
+                QueryRecord* record = table_.Find(query_id);
+                if (record == nullptr) return;
+                const query::SourceSel preferred = record->plan.preferred;
+                if (record->assigned.contains(preferred)) return;
+                if (SwitchBackToPreferred(*record)) {
+                  CLOG_INFO(kModule, "query %s switched back to %s",
+                            query_id.c_str(),
+                            query::SourceSelName(preferred));
+                  if (record->client != nullptr) {
+                    record->client->InformError(
+                        std::string("provisioning restored to ") +
+                        query::SourceSelName(preferred));
+                  }
+                }
+              });
+        });
+    return;
+  }
+  // Generic probe: switch back as soon as CanServe holds again.
+  std::set<query::SourceSel> exclude_all_but_preferred;
+  for (const query::SourceSel kind : planner_.preference_order()) {
+    if (kind != preferred) exclude_all_but_preferred.insert(kind);
+  }
+  const auto available =
+      planner_.SelectMechanism(record->query, exclude_all_but_preferred);
+  if (!available.ok()) return;
+  SwitchBackToPreferred(*record);
+}
+
+bool FailoverCoordinator::EnterDegradedMode(QueryRecord& record,
+                                            const Status& cause) {
+  if (record.client == nullptr) return false;
+  if (record.degraded()) return true;
+  // Degradation is whole-query: while any mechanism still serves it,
+  // live data beats stale data and the record stays ACTIVE.
+  if (!record.assigned.empty()) return false;
+  const std::string id = record.query.id;
+  if (!repository_.Latest(record.query.select_type).ok()) {
+    return false;  // nothing cached: a stale answer is not possible
+  }
+  table_.Transition(record, QueryState::kDegraded);
+  CLOG_INFO(kModule, "query %s degraded (%s): serving stale repository data",
+            id.c_str(), cause.ToString().c_str());
+  record.client->InformError("query " + id +
+                             " degraded to stale repository data (" +
+                             cause.ToString() +
+                             "); no live provisioning mechanism");
+  if (record.query.mode() == query::InteractionMode::kOnDemand) {
+    // One stale answer completes an on-demand round.
+    DeliverDegraded(id);
+    FinishQuery(id);
+    return true;
+  }
+  SimDuration period = config_.degraded_poll_period;
+  if (period <= SimDuration::zero()) {
+    period = record.query.every.value_or(std::chrono::seconds{5});
+  }
+  degraded_tasks_[id] = std::make_unique<sim::PeriodicTask>(
+      sim_, period, [this, id] { DeliverDegraded(id); });
+  // First stale answer now, not one period from now.
+  DeliverDegraded(id);
+  recovery_probes_[id] = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.recovery_probe_period,
+      [this, id] { ProbeDegradedRecovery(id); });
+  return true;
+}
+
+void FailoverCoordinator::DeliverDegraded(const std::string& query_id) {
+  QueryRecord* record = table_.Find(query_id);
+  if (record == nullptr || !record->degraded() ||
+      record->client == nullptr) {
+    degraded_tasks_.erase(query_id);
+    return;
+  }
+  // The DURATION clause keeps its meaning while degraded.
+  if (record->query.duration.time.has_value() &&
+      sim_.Now() >= record->submitted + *record->query.duration.time) {
+    FinishQuery(query_id);
+    return;
+  }
+  auto item = repository_.Latest(record->query.select_type);
+  if (!item.ok()) return;  // cache expired under us; the probe keeps trying
+  ++degraded_deliveries_;
+  router_.DeliverStale(*record, *std::move(item));
+}
+
+void FailoverCoordinator::ProbeDegradedRecovery(const std::string& query_id) {
+  QueryRecord* record = table_.Find(query_id);
+  if (record == nullptr || !record->degraded()) {
+    recovery_probes_.erase(query_id);
+    return;
+  }
+  // While degraded, any live mechanism beats stale data: reconsider them
+  // all, including ones that failed earlier.
+  const auto kind = planner_.SelectMechanism(record->query, {});
+  if (!kind.ok()) return;  // everything still down
+  if (!hooks_.assign(*record, *kind).ok()) return;  // next probe retries
+  table_.Transition(*record, QueryState::kActive);
+  record->failed.clear();
+  degraded_tasks_.erase(query_id);
+  // `from` approximates: degraded mode has no SourceSel of its own.
+  switch_log_.push_back(
+      SwitchEvent{sim_.Now(), query_id, record->plan.preferred, *kind});
+  CLOG_INFO(kModule, "query %s recovered from degraded mode to %s",
+            query_id.c_str(), query::SourceSelName(*kind));
+  record->client->InformError(std::string("provisioning restored to ") +
+                              query::SourceSelName(*kind) +
+                              " after degraded mode");
+  recovery_probes_.erase(query_id);  // safe: PeriodicTask survives this
+}
+
+}  // namespace contory::core

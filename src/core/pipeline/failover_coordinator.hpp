@@ -1,0 +1,122 @@
+// FailoverCoordinator (pipeline stage 3½: what happens when stage 3
+// fails).
+//
+// Owns everything that reacts to a mechanism dying under an active
+// query: re-planning against the StrategyPlanner's preference order
+// ("if a BT-GPS device suddenly disconnects, the location provisioning
+// task can be moved from a LocalLocationProvider ... to an
+// AdHocLocationProvider"), the switch-back recovery probes (the Fig. 5
+// cycle), and graceful degradation to stale repository data when nothing
+// is left. All lifecycle effects go through the QueryTable's state
+// machine: ACTIVE -> FAILING_OVER -> ACTIVE | DEGRADED -> ... -> DONE.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/pipeline/delivery_router.hpp"
+#include "core/pipeline/query_table.hpp"
+#include "core/pipeline/strategy_planner.hpp"
+#include "core/references/bt_reference.hpp"
+#include "core/references/internal_reference.hpp"
+#include "core/repository.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+/// Log entry for one provisioning switch: (time, query id, from, to).
+struct SwitchEvent {
+  SimTime at;
+  std::string query_id;
+  query::SourceSel from;
+  query::SourceSel to;
+};
+
+struct FailoverConfig {
+  /// Recovery-probe interval after a failover (Fig. 5: how soon the
+  /// factory notices the GPS is back).
+  SimDuration recovery_probe_period = std::chrono::seconds{30};
+  /// When failover has nowhere left to go, answer from the local
+  /// repository with explicit staleness metadata instead of erroring.
+  bool enable_degraded_mode = true;
+  /// Delivery period while degraded; zero means the query's EVERY (or
+  /// 5 s when the query names none).
+  SimDuration degraded_poll_period = SimDuration::zero();
+};
+
+class FailoverCoordinator {
+ public:
+  /// Facade operations the coordinator drives but the composition root
+  /// owns (provider construction policy lives with the factory).
+  struct Hooks {
+    /// Submits `record`'s query to the facade of `kind`; records the
+    /// assignment on success.
+    std::function<Status(QueryRecord&, query::SourceSel)> assign;
+    /// Cancels one original query on the facade of `kind`.
+    std::function<void(const std::string&, query::SourceSel)> cancel;
+  };
+
+  FailoverCoordinator(sim::Simulation& sim, FailoverConfig config,
+                      QueryTable& table, StrategyPlanner& planner,
+                      CxtRepository& repository, DeliveryRouter& router,
+                      const InternalReference& internal_ref,
+                      BTReference& bt_ref, Hooks hooks);
+
+  /// A facade finished one original query: duration complete (Ok) or a
+  /// transport failure that triggers failover / degradation.
+  void OnFacadeFinished(query::SourceSel kind, const std::string& query_id,
+                        const Status& status);
+
+  /// Cancel path: forget per-query probes and degraded tasks without
+  /// logging a completion (the caller finishes the record).
+  void DropQuery(const std::string& query_id);
+
+  [[nodiscard]] const std::vector<SwitchEvent>& switch_log() const noexcept {
+    return switch_log_;
+  }
+  /// Stale items handed out by degraded mode so far.
+  [[nodiscard]] std::uint64_t degraded_deliveries() const noexcept {
+    return degraded_deliveries_;
+  }
+
+ private:
+  void TryFailover(QueryRecord& record, query::SourceSel failed_kind,
+                   const Status& status);
+  void StartRecoveryProbe(const std::string& query_id);
+  void ProbeRecovery(const std::string& query_id);
+  /// Cancels every assigned facade and re-assigns the preferred one;
+  /// shared by both recovery probes. Returns true on success.
+  bool SwitchBackToPreferred(QueryRecord& record);
+
+  /// Degraded mode: serve stale repository data when every mechanism is
+  /// down. Returns false when there is nothing cached to serve (the
+  /// caller falls back to the hard error path).
+  bool EnterDegradedMode(QueryRecord& record, const Status& cause);
+  void DeliverDegraded(const std::string& query_id);
+  void ProbeDegradedRecovery(const std::string& query_id);
+
+  /// Normal terminal path: tears down probes/tasks, releases router
+  /// state, and logs the completion in the table.
+  void FinishQuery(const std::string& query_id);
+
+  sim::Simulation& sim_;
+  FailoverConfig config_;
+  QueryTable& table_;
+  StrategyPlanner& planner_;
+  CxtRepository& repository_;
+  DeliveryRouter& router_;
+  const InternalReference& internal_ref_;
+  BTReference& bt_ref_;
+  Hooks hooks_;
+
+  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> recovery_probes_;
+  std::map<std::string, std::unique_ptr<sim::PeriodicTask>> degraded_tasks_;
+  std::vector<SwitchEvent> switch_log_;
+  std::uint64_t degraded_deliveries_ = 0;
+};
+
+}  // namespace contory::core

@@ -1,0 +1,111 @@
+#include "core/pipeline/query_table.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace contory::core {
+namespace {
+constexpr const char* kModule = "querytable";
+}
+
+const char* QueryStateName(QueryState state) noexcept {
+  switch (state) {
+    case QueryState::kAdmitted: return "ADMITTED";
+    case QueryState::kActive: return "ACTIVE";
+    case QueryState::kFailingOver: return "FAILING_OVER";
+    case QueryState::kDegraded: return "DEGRADED";
+    case QueryState::kDone: return "DONE";
+  }
+  return "?";
+}
+
+Status QueryTable::Admit(query::CxtQuery query, Client& client) {
+  if (query.id.empty()) {
+    return InvalidArgument("query must have an id before registration");
+  }
+  if (records_.contains(query.id)) {
+    return AlreadyExists("query '" + query.id + "' already active");
+  }
+  QueryRecord record;
+  record.query = std::move(query);
+  record.client = &client;
+  record.state = QueryState::kAdmitted;
+  record.submitted = sim_.Now();
+  records_.emplace(record.query.id, std::move(record));
+  ++total_admitted_;
+  return Status::Ok();
+}
+
+QueryRecord* QueryTable::Find(const std::string& id) {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const QueryRecord* QueryTable::Find(const std::string& id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+bool QueryTable::ValidEdge(QueryState from, QueryState to) noexcept {
+  if (from == QueryState::kDone) return false;  // terminal
+  switch (to) {
+    case QueryState::kAdmitted:
+      return false;  // admission happens once, via Admit()
+    case QueryState::kActive:
+      // Assignment, failover success, or degraded recovery.
+      return from == QueryState::kAdmitted ||
+             from == QueryState::kFailingOver ||
+             from == QueryState::kDegraded;
+    case QueryState::kFailingOver:
+      return from == QueryState::kActive;
+    case QueryState::kDegraded:
+      return from == QueryState::kFailingOver;
+    case QueryState::kDone:
+      return true;  // any live state may finish (cancel, expiry, error)
+  }
+  return false;
+}
+
+bool QueryTable::Transition(QueryRecord& record, QueryState to) {
+  if (record.state == to) return true;  // idempotent self-edge
+  if (!ValidEdge(record.state, to)) {
+    ++invalid_transitions_;
+    CLOG_WARN(kModule, "query %s: refused %s -> %s",
+              record.query.id.c_str(), QueryStateName(record.state),
+              QueryStateName(to));
+    return false;
+  }
+  record.state = to;
+  return true;
+}
+
+void QueryTable::Finish(const std::string& id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  completions_.push_back(Completion{id, it->second.state, sim_.Now()});
+  records_.erase(it);
+}
+
+bool QueryTable::RecordDelivery(QueryRecord& record,
+                                const std::string& item_id) {
+  if (record.seen_items.contains(item_id)) return false;
+  record.seen_items.insert(item_id);
+  record.seen_order.push_back(item_id);
+  while (record.seen_order.size() > kSeenCap) {
+    record.seen_items.erase(record.seen_order.front());
+    record.seen_order.erase(record.seen_order.begin());
+  }
+  ++record.items_delivered;
+  return true;
+}
+
+std::vector<std::string> QueryTable::ActiveIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(records_.size());
+  for (const auto& [id, record] : records_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace contory::core

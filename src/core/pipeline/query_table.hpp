@@ -1,0 +1,153 @@
+// QueryTable: the single source of truth for query lifecycle state.
+//
+// The paper's QueryManager (Sec. 4.3) "is responsible for maintaining an
+// updated list of all active queries". At production scale that
+// bookkeeping must not be duplicated: facades, failover, degraded mode
+// and delivery all used to keep fragments of per-query state. The
+// QueryTable owns one lifecycle record per query and an explicit state
+// machine every pipeline stage reads and writes through:
+//
+//        Admit           Assign            mechanism fails
+//   ---> ADMITTED ------> ACTIVE <------------> FAILING_OVER
+//           |               ^  \                  |
+//           |      recovery |   \ cancel/expiry   | nothing left,
+//           |               v    v                v repository warm
+//           |            DEGRADED ------------> DONE <---- (any state,
+//           +---------------------------------->  ^         cancel)
+//                no mechanism at admission        |
+//                                                 terminal; the record is
+//                                                 erased and a Completion
+//                                                 is logged exactly once
+//
+// Invariant (tested): every admitted query reaches DONE exactly once, no
+// matter how cancel, failover, degraded delivery and policy enforcement
+// interleave.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/client.hpp"
+#include "core/query/query.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+enum class QueryState : std::uint8_t {
+  kAdmitted,     // registered; no facade assigned yet
+  kActive,       // at least one facade provisions it
+  kFailingOver,  // a mechanism failed; re-planning in progress
+  kDegraded,     // served stale repository data; probing for recovery
+  kDone,         // terminal; the record has been erased
+};
+
+[[nodiscard]] const char* QueryStateName(QueryState state) noexcept;
+
+/// Data-driven provisioning strategy for one query, produced by the
+/// StrategyPlanner at admission: which facades start immediately, and the
+/// preference order failover walks when a mechanism dies.
+struct ProvisioningPlan {
+  /// Facade kinds assigned at submission (one for transparent queries,
+  /// every listed source for explicit FROM clauses).
+  std::vector<query::SourceSel> initial;
+  /// Preference order consulted on failover and recovery; availability is
+  /// re-checked against this order at switch time.
+  std::vector<query::SourceSel> failover_order;
+  /// The mechanism the planner preferred originally (switch-back target).
+  query::SourceSel preferred = query::SourceSel::kAuto;
+  /// True when the query's FROM clause was empty and the planner chose
+  /// the mechanism transparently.
+  bool transparent = false;
+};
+
+struct QueryRecord {
+  query::CxtQuery query;
+  Client* client = nullptr;
+  QueryState state = QueryState::kAdmitted;
+  ProvisioningPlan plan;
+  /// Facade kinds currently provisioning this query.
+  std::set<query::SourceSel> assigned;
+  /// Mechanisms that failed for this query (excluded from re-selection).
+  std::set<query::SourceSel> failed;
+  SimTime submitted{};
+  std::uint64_t items_delivered = 0;
+  /// Ids of items already delivered (cross-facade dedup), bounded.
+  std::unordered_set<std::string> seen_items;
+  std::vector<std::string> seen_order;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return state == QueryState::kDegraded;
+  }
+};
+
+class QueryTable {
+ public:
+  /// One terminal transition, logged when a record reaches DONE.
+  struct Completion {
+    std::string id;
+    /// The state the query was in when it finished (kActive for a normal
+    /// duration expiry, kDegraded for a stale-served query, ...).
+    QueryState from = QueryState::kAdmitted;
+    SimTime at{};
+  };
+
+  explicit QueryTable(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Registers a submitted query in state ADMITTED; assigns nothing yet.
+  Status Admit(query::CxtQuery query, Client& client);
+
+  [[nodiscard]] QueryRecord* Find(const std::string& id);
+  [[nodiscard]] const QueryRecord* Find(const std::string& id) const;
+
+  /// Moves `record` along a legal (non-terminal) edge of the state
+  /// machine. Illegal edges are refused (returns false) and counted —
+  /// a refused transition is a pipeline bug, not a crash.
+  bool Transition(QueryRecord& record, QueryState to);
+
+  /// Terminal transition: logs a Completion exactly once and erases the
+  /// record. Finishing an unknown id is a harmless no-op (cancel racing
+  /// a duration expiry).
+  void Finish(const std::string& id);
+
+  /// Records a delivery; returns false when `item_id` was already
+  /// delivered for this query (duplicate across facades).
+  bool RecordDelivery(QueryRecord& record, const std::string& item_id);
+
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] std::vector<std::string> ActiveIds() const;
+
+  /// Terminal log, in completion order (lifecycle invariant tests).
+  [[nodiscard]] const std::vector<Completion>& completions() const noexcept {
+    return completions_;
+  }
+  void ClearCompletions() { completions_.clear(); }
+  /// Refused state-machine edges observed (should stay zero).
+  [[nodiscard]] std::uint64_t invalid_transitions() const noexcept {
+    return invalid_transitions_;
+  }
+  /// Queries ever admitted (diagnostics; admitted == completed + live).
+  [[nodiscard]] std::uint64_t total_admitted() const noexcept {
+    return total_admitted_;
+  }
+
+ private:
+  static constexpr std::size_t kSeenCap = 128;
+
+  [[nodiscard]] static bool ValidEdge(QueryState from,
+                                      QueryState to) noexcept;
+
+  sim::Simulation& sim_;
+  std::unordered_map<std::string, QueryRecord> records_;
+  std::vector<Completion> completions_;
+  std::uint64_t invalid_transitions_ = 0;
+  std::uint64_t total_admitted_ = 0;
+};
+
+}  // namespace contory::core

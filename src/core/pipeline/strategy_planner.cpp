@@ -1,0 +1,80 @@
+#include "core/pipeline/strategy_planner.hpp"
+
+#include <stdexcept>
+
+#include "core/providers/adhoc_provider.hpp"
+#include "core/providers/infra_provider.hpp"
+#include "core/providers/local_provider.hpp"
+
+namespace contory::core {
+
+StrategyPlanner::StrategyPlanner(PlannerEnv env)
+    : env_(env),
+      preference_order_{query::SourceSel::kIntSensor,
+                        query::SourceSel::kAdHocNetwork,
+                        query::SourceSel::kExtInfra} {
+  if (env_.internal == nullptr || env_.bt == nullptr ||
+      env_.wifi == nullptr || env_.cell == nullptr ||
+      env_.default_infra_address == nullptr ||
+      env_.active_actions == nullptr) {
+    throw std::invalid_argument("StrategyPlanner: incomplete environment");
+  }
+}
+
+bool StrategyPlanner::CanServe(query::SourceSel kind,
+                               const query::CxtQuery& q) const {
+  switch (kind) {
+    case query::SourceSel::kIntSensor:
+      return LocalCxtProvider::CanServe(q, *env_.internal, *env_.bt);
+    case query::SourceSel::kAdHocNetwork:
+      return AdHocCxtProvider::CanServe(*env_.bt, *env_.wifi);
+    case query::SourceSel::kExtInfra:
+      if (env_.active_actions->contains(RuleAction::kReducePower)) {
+        return false;
+      }
+      return InfraCxtProvider::CanServe(*env_.cell,
+                                        *env_.default_infra_address);
+    case query::SourceSel::kAuto:
+      break;
+  }
+  return false;
+}
+
+Result<query::SourceSel> StrategyPlanner::SelectMechanism(
+    const query::CxtQuery& q,
+    const std::set<query::SourceSel>& excluded) const {
+  for (const query::SourceSel kind : preference_order_) {
+    if (excluded.contains(kind)) continue;
+    if (CanServe(kind, q)) return kind;
+  }
+  return Unavailable("no provisioning mechanism can serve '" +
+                     q.select_type + "'");
+}
+
+Result<ProvisioningPlan> StrategyPlanner::Plan(
+    const query::CxtQuery& q) const {
+  ProvisioningPlan plan;
+  plan.failover_order = preference_order_;
+  if (q.from.IsAuto()) {
+    plan.transparent = true;
+    const auto kind = SelectMechanism(q, {});
+    if (!kind.ok()) return kind.status();
+    plan.initial.push_back(*kind);
+    plan.preferred = *kind;
+    return plan;
+  }
+  // Explicit FROM clause: every listed source gets a facade; an auto
+  // source inside a FROM list means "the infrastructure decides", which
+  // resolves to extInfra as in the prototype.
+  std::set<query::SourceSel> kinds;
+  for (const auto& src : q.from.sources) {
+    kinds.insert(src.kind == query::SourceSel::kAuto
+                     ? query::SourceSel::kExtInfra
+                     : src.kind);
+  }
+  plan.initial.assign(kinds.begin(), kinds.end());
+  plan.preferred = *kinds.begin();
+  return plan;
+}
+
+}  // namespace contory::core

@@ -14,7 +14,7 @@
 //   powerDraw       number   instantaneous draw in mW
 //   memoryItems     number   items held by the local repository
 //   memoryLevel     string   "low" | "medium" | "high" pressure
-//   activeQueries   number   queries the QueryManager tracks
+//   activeQueries   number   queries the QueryTable tracks
 //   activeProviders number   providers currently running
 #pragma once
 

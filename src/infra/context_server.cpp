@@ -7,6 +7,25 @@
 #include "infra/event_broker.hpp"
 
 namespace contory::infra {
+
+std::vector<std::byte> EncodeStoreRequest(
+    const std::string& publisher_name,
+    const std::optional<GeoPoint>& position, const CxtItem& item) {
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(ServerOp::kStore));
+  w.WriteString(publisher_name);
+  w.WriteBool(position.has_value());
+  if (position.has_value()) {
+    w.WriteF64(position->lat);
+    w.WriteF64(position->lon);
+  }
+  item.Encode(w);
+  if (w.size() < kEventNotificationBytes) {
+    w.WritePadding(kEventNotificationBytes - w.size());
+  }
+  return std::move(w).Take();
+}
+
 namespace {
 
 constexpr const char* kModule = "cxtserver";

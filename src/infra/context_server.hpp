@@ -40,6 +40,12 @@ enum class ServerOp : std::uint8_t {
   kCancelQuery = 4,
 };
 
+/// Client-side encoding of one kStore request frame (the extInfra
+/// storeCxtItem round trip), padded to the event-notification size.
+[[nodiscard]] std::vector<std::byte> EncodeStoreRequest(
+    const std::string& publisher_name,
+    const std::optional<GeoPoint>& position, const CxtItem& item);
+
 /// One stored observation: the item plus where/who it came from.
 struct StoredItem {
   CxtItem item;

@@ -640,6 +640,147 @@ TEST_F(DegradedModeTest, DisabledDegradedModeFailsHard) {
   EXPECT_FALSE(device.contory().IsDegraded(*id));
 }
 
+// --- Concurrent faults on a two-hop WiFi route with merged queries ---------
+
+class WifiRouteChaosTest : public ::testing::Test {
+ protected:
+  WifiRouteChaosTest() : world_(205) {
+    // Three communicators in a line, 80 m apart: the paper's 2-hop
+    // topology, WiFi-only so every fault lands on the SM route.
+    for (int i = 0; i < 3; ++i) {
+      testbed::DeviceOptions opts;
+      opts.name = "comm-" + std::to_string(i);
+      opts.profile = phone::Nokia9500();
+      opts.position = {i * 80.0, 0};
+      opts.with_bt = false;
+      opts.with_wifi = true;
+      opts.with_cellular = false;
+      devices_.push_back(&world_.AddDevice(opts));
+    }
+  }
+
+  void PublishRemoteTemperature() {
+    ASSERT_TRUE(devices_[2]->contory().RegisterCxtServer(pub_client_).ok());
+    CxtItem item;
+    item.id = "remote-1";
+    item.type = vocab::kTemperature;
+    item.value = 19.5;
+    item.timestamp = world_.Now();
+    item.metadata.accuracy = 0.2;
+    ASSERT_TRUE(devices_[2]->contory().PublishCxtItem(item, true).ok());
+  }
+
+  testbed::World world_;
+  std::vector<testbed::Device*> devices_;
+  core::CollectingClient pub_client_;
+};
+
+TEST_F(WifiRouteChaosTest, MergedSubscriptionsRideOutConcurrentFaults) {
+  PublishRemoteTemperature();
+
+  // Two identical subscriptions from two applications on comm-0: the
+  // facade must merge them into a single SM-FINDER cluster.
+  core::CollectingClient app_a;
+  core::CollectingClient app_b;
+  const auto id_a = devices_[0]->contory().ProcessCxtQuery(
+      Q(world_.sim(),
+        "SELECT temperature FROM adHocNetwork(1,2) "
+        "DURATION 2 min EVERY 30 sec"),
+      app_a);
+  const auto id_b = devices_[0]->contory().ProcessCxtQuery(
+      Q(world_.sim(),
+        "SELECT temperature FROM adHocNetwork(1,2) "
+        "DURATION 2 min EVERY 30 sec"),
+      app_b);
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+
+  core::Facade& facade =
+      devices_[0]->contory().facade(query::SourceSel::kAdHocNetwork);
+  EXPECT_EQ(facade.active_original_count(), 2u);
+  EXPECT_EQ(facade.active_provider_count(), 1u);
+
+  // Two overlapping fault windows, one per hop: loss on the relay while
+  // the querier's own radio is slowed.
+  ASSERT_TRUE(world_.injector()
+                  .ExecuteText(
+                      "at=20s wifi.loss comm-1 rate=0.5 for=35s\n"
+                      "at=25s wifi.latency comm-0 ms=200 for=30s\n")
+                  .ok());
+
+  world_.RunFor(2min + 15s);
+
+  // Both merged originals kept receiving the remote item across the chaos
+  // window, and both lifecycles closed cleanly at DURATION expiry.
+  ASSERT_FALSE(app_a.items.empty());
+  ASSERT_FALSE(app_b.items.empty());
+  EXPECT_EQ(app_a.items.front().value, CxtValue{19.5});
+  EXPECT_EQ(app_b.items.front().value, CxtValue{19.5});
+
+  const core::QueryTable& table = devices_[0]->contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  int done_a = 0;
+  int done_b = 0;
+  for (const auto& completion : table.completions()) {
+    if (completion.id == *id_a) ++done_a;
+    if (completion.id == *id_b) ++done_b;
+  }
+  EXPECT_EQ(done_a, 1);
+  EXPECT_EQ(done_b, 1);
+}
+
+TEST_F(WifiRouteChaosTest, ConcurrentFaultsOnBothHopsTerminateCleanly) {
+  PublishRemoteTemperature();
+
+  // Break the relay outright and black-hole the publisher at the same
+  // time: no SM round can complete, and the WiFi-only device has no
+  // mechanism to fail over to.
+  ASSERT_TRUE(world_.injector()
+                  .ExecuteText(
+                      "at=5s wifi.fail comm-1 for=2min\n"
+                      "at=5s wifi.loss comm-2 rate=1.0 for=2min\n")
+                  .ok());
+  world_.RunFor(10s);
+
+  core::CollectingClient app_a;
+  core::CollectingClient app_b;
+  const auto id_a = devices_[0]->contory().ProcessCxtQuery(
+      Q(world_.sim(),
+        "SELECT temperature FROM adHocNetwork(1,2) DURATION 40 sec"),
+      app_a);
+  const auto id_b = devices_[0]->contory().ProcessCxtQuery(
+      Q(world_.sim(),
+        "SELECT temperature FROM adHocNetwork(1,2) DURATION 40 sec"),
+      app_b);
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  EXPECT_EQ(devices_[0]
+                ->contory()
+                .facade(query::SourceSel::kAdHocNetwork)
+                .active_original_count(),
+            2u);
+
+  world_.RunFor(90s);
+
+  // Nothing could be delivered, but every lifecycle still ended in
+  // exactly one terminal state — no leaks, no invalid transitions.
+  EXPECT_TRUE(app_a.items.empty());
+  EXPECT_TRUE(app_b.items.empty());
+
+  const core::QueryTable& table = devices_[0]->contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  int done_a = 0;
+  int done_b = 0;
+  for (const auto& completion : table.completions()) {
+    if (completion.id == *id_a) ++done_a;
+    if (completion.id == *id_b) ++done_b;
+  }
+  EXPECT_EQ(done_a, 1);
+  EXPECT_EQ(done_b, 1);
+}
+
 // --- Determinism (acceptance: two same-seed runs are byte-identical) -------
 
 std::string RunChaosScenario(std::uint64_t seed) {

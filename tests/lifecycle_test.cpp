@@ -1,0 +1,176 @@
+// Query-lifecycle invariants over the pipeline's QueryTable.
+//
+// Every query must end in exactly one terminal completion — no leaked
+// records, no double-finishes, no invalid state transitions — even when
+// the lifecycle is perturbed at its most awkward moments: cancellation
+// from inside a delivery callback, a failover target that fails while
+// the failover is in flight, and a facade-wide StopAll while a query is
+// already degraded.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/contory.hpp"
+#include "fault/fault_injector.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+int CompletionsFor(const core::QueryTable& table, const std::string& id) {
+  int n = 0;
+  for (const auto& completion : table.completions()) {
+    if (completion.id == id) ++n;
+  }
+  return n;
+}
+
+// A client that cancels its own query from inside the delivery callback —
+// the reentrant path through router -> client -> factory -> facade.
+class CancelOnFirstItemClient : public core::Client {
+ public:
+  void ReceiveCxtItem(const CxtItem& item) override {
+    items.push_back(item);
+    // The very first sample can arrive synchronously, before the caller
+    // has learned the query id — cancel on the first delivery after that.
+    if (factory != nullptr && !query_id.empty() && !cancelled) {
+      cancelled = true;
+      items_at_cancel = items.size();
+      factory->CancelCxtQuery(query_id);
+    }
+  }
+  void InformError(const std::string& msg) override {
+    errors.push_back(msg);
+  }
+  bool MakeDecision(const std::string&) override { return true; }
+
+  core::ContextFactory* factory = nullptr;
+  std::string query_id;
+  bool cancelled = false;
+  std::size_t items_at_cancel = 0;
+  std::vector<CxtItem> items;
+  std::vector<std::string> errors;
+};
+
+TEST(LifecycleInvariantTest, CancelDuringDeliveryIsSingleTerminal) {
+  testbed::World world{501};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+
+  CancelOnFirstItemClient client;
+  client.factory = &device.contory();
+  const auto id = device.contory().ProcessCxtQuery(
+      Q(world.sim(),
+        "SELECT temperature FROM intSensor DURATION 2 min EVERY 5 sec"),
+      client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  client.query_id = *id;
+
+  world.RunFor(1min);
+
+  // The delivery callback cancelled the query reentrantly: nothing was
+  // delivered afterwards, exactly one terminal completion was logged, and
+  // the state machine saw no invalid edges.
+  EXPECT_TRUE(client.cancelled);
+  EXPECT_EQ(client.items.size(), client.items_at_cancel);
+  const core::QueryTable& table = device.contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_EQ(CompletionsFor(table, *id), 1);
+}
+
+class GpsWorldTest : public ::testing::Test {
+ protected:
+  GpsWorldTest() : world_(502) {
+    testbed::DeviceOptions opts;
+    opts.name = "phone-A";
+    core::ContextFactoryConfig cfg;
+    cfg.recovery_probe_period = 15s;
+    opts.factory_config = cfg;
+    device_ = &world_.AddDevice(opts);
+    world_.AddGps("gps-1", {3, 0});
+  }
+
+  testbed::World world_;
+  testbed::Device* device_ = nullptr;
+};
+
+TEST_F(GpsWorldTest, FailDuringFailoverIsSingleTerminal) {
+  core::CollectingClient client;
+  const auto id = device_->contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 2 min EVERY 5 sec"),
+      client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Healthy provisioning warms the repository, then the GPS and the local
+  // BT radio fail in the same instant: the failover target dies while the
+  // failover itself is in flight, leaving only degraded mode.
+  world_.RunFor(55s);
+  ASSERT_FALSE(client.items.empty());
+  ASSERT_TRUE(world_.injector()
+                  .ExecuteText(
+                      "at=60s gps.off gps-1 for=180s\n"
+                      "at=60s bt.fail phone-A for=180s\n")
+                  .ok());
+  world_.RunFor(2min);  // past the 2 min DURATION
+
+  const core::QueryTable& table = device_->contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_EQ(CompletionsFor(table, *id), 1);
+}
+
+TEST_F(GpsWorldTest, StopAllDuringDegradedIsSingleTerminal) {
+  core::CollectingClient client;
+  const auto id = device_->contory().ProcessCxtQuery(
+      Q(world_.sim(), "SELECT location DURATION 20 min EVERY 5 sec"),
+      client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // Drive the query into degraded mode (GPS and BT both dark, repository
+  // warm from the healthy phase; the BT radio follows the GPS down so the
+  // recovery probes cannot flap back onto a GPS-less BT stack).
+  world_.RunFor(55s);
+  ASSERT_TRUE(world_.injector()
+                  .ExecuteText(
+                      "at=60s gps.off gps-1 for=600s\n"
+                      "at=80s bt.fail phone-A for=580s\n")
+                  .ok());
+  world_.RunFor(90s);
+  ASSERT_TRUE(device_->contory().IsDegraded(*id));
+
+  // A facade-wide StopAll (what the reducePower/reduceLoad policies do)
+  // must not double-finish a query that no facade is serving any more.
+  for (const query::SourceSel kind :
+       {query::SourceSel::kIntSensor, query::SourceSel::kAdHocNetwork,
+        query::SourceSel::kExtInfra}) {
+    device_->contory().facade(kind).StopAll(
+        ResourceExhausted("policy suspended the query"));
+  }
+  world_.RunFor(30s);
+  EXPECT_TRUE(device_->contory().IsDegraded(*id));
+  EXPECT_EQ(device_->contory().queries().active_count(), 1u);
+
+  device_->contory().CancelCxtQuery(*id);
+  world_.RunFor(10s);
+
+  const core::QueryTable& table = device_->contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_EQ(CompletionsFor(table, *id), 1);
+}
+
+}  // namespace
+}  // namespace contory
