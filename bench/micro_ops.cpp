@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/contory.hpp"
+#include "obs/observability.hpp"
 
 using namespace contory;
 using namespace std::chrono_literals;
@@ -132,6 +133,53 @@ void BM_NmeaBuildParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NmeaBuildParse);
+
+// --- Observability hot-path costs (the per-submit instrumentation) ----
+
+void BM_ObsSpanLifecycle(benchmark::State& state) {
+  // One query's worth of tracer work on the submit/finish path: root +
+  // provision span opened, both closed. Capacity 0 keeps the finished
+  // deque from growing across iterations.
+  auto& tracer = obs::Observability::tracer();
+  tracer.Reset();
+  tracer.SetCapacity(0);
+  const std::string query_id = "q-bench";
+  double fake_energy = 0.0;
+  for (auto _ : state) {
+    const auto root = tracer.BeginQuery(query_id, kSimEpoch,
+                                        [&] { return fake_energy; });
+    const auto stage =
+        tracer.BeginStage(root, "provision", "adHocNetwork", kSimEpoch);
+    tracer.EndStage(stage, kSimEpoch + 1s, "ok");
+    tracer.EndQuery(root, kSimEpoch + 1s, "ACTIVE");
+  }
+  tracer.Reset();
+  tracer.SetCapacity(8192);
+}
+BENCHMARK(BM_ObsSpanLifecycle);
+
+void BM_ObsCounterCachedInc(benchmark::State& state) {
+  obs::Observability::metrics().Reset();
+  obs::Counter& counter = obs::Observability::metrics().GetCounter(
+      "bench_counter", {{"mechanism", "adHocNetwork"}});
+  for (auto _ : state) {
+    counter.Inc();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_ObsCounterCachedInc);
+
+void BM_ObsCounterLookupInc(benchmark::State& state) {
+  // The anti-pattern the cached handles avoid: per-call name+label
+  // resolution.
+  obs::Observability::metrics().Reset();
+  for (auto _ : state) {
+    obs::Observability::metrics()
+        .GetCounter("bench_counter", {{"mechanism", "adHocNetwork"}})
+        .Inc();
+  }
+}
+BENCHMARK(BM_ObsCounterLookupInc);
 
 }  // namespace
 

@@ -1,0 +1,575 @@
+// Regenerates Tables 1 and 2 from the observability subsystem alone.
+//
+// bench/table1_latency and bench/table2_energy time and meter each
+// operation with bespoke bench code (manual SimTime marks, manual
+// energy ledger marks). This report runs the same scenarios — same
+// seeds, same topologies, same windows — but every printed number is
+// read back from what the instrumented pipeline itself recorded:
+//
+//   latencies . the op_latency_ms{op,mechanism,transport} and
+//               first_delivery_latency_ms{mechanism} histograms the
+//               publisher / StoreCxtItem / DeliveryRouter hooks fill
+//               (mean [90% CI] straight from Histogram::ToCell), and
+//   energy .... QueryTracer spans: on-demand rows use the query's own
+//               root span (energy probe sampled at admission and
+//               terminal completion); windowed rows open an explicit
+//               tracer span over the paper's measurement window and
+//               read energy/duration/items back from the finished span.
+//
+// Matching numbers between the two reports is the acceptance check for
+// the instrumentation: identical physics, independent measurement
+// plumbing. Local object operations (createCxtItem / createCxtQuery)
+// are host-wall-clock rows with no middleware hook; they stay in
+// bench/table1_latency.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/contory.hpp"
+#include "obs/observability.hpp"
+#include "testbed/testbed.hpp"
+
+using namespace contory;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr int kLatencyRuns = 8;  // Table 1: 8 runs, 90% CI
+constexpr int kEnergyRuns = 5;   // Table 2: 5 runs, 90% CI
+/// "Turning on Contory as well leads to a power consumption of 10.11 mW."
+constexpr double kContoryIdleMw = 10.11;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  if (!q.ok()) throw std::runtime_error(q.status().ToString());
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+CxtItem LightItem(testbed::World& world) {
+  CxtItem item;
+  item.id = world.sim().ids().NextId("item");
+  item.type = vocab::kLight;
+  item.value = 5200.0;
+  item.timestamp = world.Now();
+  item.metadata.accuracy = 50.0;
+  return item;
+}
+
+/// Marginal energy above the Contory-idle baseline, per delivered item.
+double MarginalPerItem(double joules, double window_s, std::uint64_t items) {
+  if (items == 0) return 0.0;
+  return (joules - kContoryIdleMw / 1e3 * window_s) /
+         static_cast<double>(items);
+}
+
+/// Renders a registry histogram as the paper's table cell. Snapshot it
+/// before the next ResetForTest wipes the group's samples.
+std::string HistCell(const std::string& name, const obs::Labels& labels,
+                     const char* unit) {
+  const obs::Histogram* h =
+      obs::Observability::metrics().FindHistogram(name, labels);
+  if (h == nullptr || h->count() == 0) return "n/a (no samples)";
+  return h->ToCell() + " " + unit;
+}
+
+/// The finished root span of `query_id`, or nullptr.
+const obs::Span* RootSpanOf(const std::string& query_id) {
+  static std::vector<obs::Span> spans;  // keep the copy alive for caller
+  spans = obs::Observability::tracer().FinishedFor(query_id);
+  for (const obs::Span& s : spans) {
+    if (s.parent == 0) return &s;
+  }
+  return nullptr;
+}
+
+/// Opens an explicit tracer span metering `device` — the tracer used as
+/// the measurement instrument for windows no pipeline span brackets
+/// (provider side, steady-state windows, radio-tail windows).
+std::uint64_t OpenWindowSpan(const std::string& id, testbed::World& world,
+                             testbed::Device& device) {
+  return obs::Observability::tracer().BeginQuery(
+      id, world.Now(),
+      [&device] { return device.phone().energy().TotalEnergyJoules(); });
+}
+
+// ----------------------------------------------------------------------
+// Table 1 scenario groups (same seeds/topologies as bench/table1_latency;
+// each group starts from a clean registry and snapshots its rows).
+// ----------------------------------------------------------------------
+
+void RunBtPublishes() {
+  for (int run = 0; run < kLatencyRuns; ++run) {
+    testbed::World world{300 + static_cast<std::uint64_t>(run)};
+    auto& device = world.AddDevice({.name = "publisher"});
+    core::CollectingClient server;
+    (void)device.contory().RegisterCxtServer(server);
+    bool done = false;
+    device.contory().publisher().Publish(LightItem(world), "",
+                                         [&](Status) { done = true; });
+    while (!done && world.sim().Step()) {
+    }
+  }
+}
+
+void RunWifiPublishes() {
+  for (int run = 0; run < kLatencyRuns; ++run) {
+    testbed::World world{320 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions opts;
+    opts.name = "publisher";
+    opts.profile = phone::Nokia9500();
+    opts.with_bt = false;
+    opts.with_wifi = true;
+    opts.with_cellular = false;
+    auto& device = world.AddDevice(opts);
+    core::CollectingClient server;
+    (void)device.contory().RegisterCxtServer(server);
+    bool done = false;
+    device.contory().publisher().Publish(LightItem(world), "",
+                                         [&](Status) { done = true; });
+    while (!done && world.sim().Step()) {
+    }
+  }
+}
+
+void RunUmtsPublishes() {
+  testbed::World world{340};
+  testbed::DeviceOptions opts;
+  opts.name = "publisher";
+  opts.infra_address = "infra.dynamos.fi";
+  auto& device = world.AddDevice(opts);
+  world.AddContextServer("infra.dynamos.fi");
+  for (int run = 0; run < kLatencyRuns + 2; ++run) {
+    world.RunFor(12s);
+    bool done = false;
+    device.contory().StoreCxtItem(LightItem(world),
+                                  [&](Status) { done = true; });
+    while (!done && world.sim().Step()) {
+    }
+    // Drop the two cold-start samples the same way the bench does.
+    if (run == 1) obs::Observability::metrics().Reset();
+  }
+}
+
+void RunBtGets() {
+  for (int run = 0; run < kLatencyRuns; ++run) {
+    testbed::World world{360 + static_cast<std::uint64_t>(run)};
+    auto& requester = world.AddDevice({.name = "requester"});
+    testbed::DeviceOptions pub_opts;
+    pub_opts.name = "publisher";
+    pub_opts.position = {5, 0};
+    auto& publisher = world.AddDevice(pub_opts);
+    core::CollectingClient server;
+    (void)publisher.contory().RegisterCxtServer(server);
+    (void)publisher.contory().PublishCxtItem(LightItem(world), true);
+    world.RunFor(1s);
+
+    core::CollectingClient client;
+    const auto id = requester.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM adHocNetwork DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+  }
+}
+
+void RunWifiGets(int hops) {
+  for (int run = 0; run < kLatencyRuns; ++run) {
+    testbed::World world{380 + static_cast<std::uint64_t>(hops * 40 + run)};
+    std::vector<testbed::Device*> devices;
+    for (int i = 0; i <= hops; ++i) {
+      testbed::DeviceOptions opts;
+      opts.name = "comm-" + std::to_string(i);
+      opts.profile = phone::Nokia9500();
+      opts.position = {i * 80.0, 0};
+      opts.with_bt = false;
+      opts.with_wifi = true;
+      opts.with_cellular = false;
+      devices.push_back(&world.AddDevice(opts));
+    }
+    core::CollectingClient server;
+    (void)devices.back()->contory().RegisterCxtServer(server);
+    (void)devices.back()->contory().PublishCxtItem(LightItem(world), true);
+
+    core::CollectingClient client;
+    const auto id = devices[0]->contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM adHocNetwork(1," +
+                           std::to_string(hops) + ") DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+  }
+}
+
+void RunUmtsGets() {
+  testbed::World world{420};
+  testbed::DeviceOptions opts;
+  opts.name = "requester";
+  opts.infra_address = "infra.dynamos.fi";
+  auto& device = world.AddDevice(opts);
+  auto& server = world.AddContextServer("infra.dynamos.fi");
+  server.StoreDirect({LightItem(world), "boat-7", std::nullopt});
+  for (int run = 0; run < kLatencyRuns; ++run) {
+    world.RunFor(60s);  // decay to idle: the paper's on-demand cold cost
+    core::CollectingClient client;
+    const auto id = device.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM extInfra DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Table 2 scenario groups (same seeds as bench/table2_energy). Energy is
+// read back from tracer spans, never from the ledger directly.
+// ----------------------------------------------------------------------
+
+/// BT on-demand query: the pipeline's own root span brackets exactly the
+/// admission -> terminal-completion window, energy probe included.
+RunningStats BtOnDemandFromRootSpans() {
+  RunningStats joules;
+  for (int run = 0; run < kEnergyRuns; ++run) {
+    testbed::World world{600 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions req_opts;
+    req_opts.name = "requester";
+    req_opts.with_cellular = false;
+    auto& requester = world.AddDevice(req_opts);
+    testbed::DeviceOptions pub_opts;
+    pub_opts.name = "publisher";
+    pub_opts.position = {5, 0};
+    pub_opts.with_cellular = false;
+    auto& publisher = world.AddDevice(pub_opts);
+    core::CollectingClient server;
+    (void)publisher.contory().RegisterCxtServer(server);
+    (void)publisher.contory().PublishCxtItem(LightItem(world), true);
+    world.RunFor(1s);
+
+    core::CollectingClient client;
+    const auto id = requester.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM adHocNetwork DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    // The on-demand round completes right after delivery; give the
+    // completion cascade its events, then read the finished root span.
+    world.RunFor(5s);
+    const obs::Span* root = RootSpanOf(*id);
+    if (root == nullptr) {  // still open: fall back to duration expiry
+      world.RunFor(60s);
+      root = RootSpanOf(*id);
+    }
+    if (root != nullptr) joules.Add(root->energy_joules());
+  }
+  return joules;
+}
+
+struct BtPeriodicResult {
+  RunningStats requester_per_item;
+  RunningStats provider_per_item;
+};
+
+/// BT periodic steady state: one explicit tracer span per side over the
+/// paper's 5-minute window; marginal-per-item from the span's own
+/// energy/duration/items.
+BtPeriodicResult BtPeriodicFromWindowSpans() {
+  BtPeriodicResult result;
+  auto& tracer = obs::Observability::tracer();
+  for (int run = 0; run < kEnergyRuns; ++run) {
+    testbed::World world{620 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions req_opts;
+    req_opts.name = "requester";
+    req_opts.with_cellular = false;
+    auto& requester = world.AddDevice(req_opts);
+    testbed::DeviceOptions pub_opts;
+    pub_opts.name = "publisher";
+    pub_opts.position = {5, 0};
+    pub_opts.with_cellular = false;
+    auto& publisher = world.AddDevice(pub_opts);
+    core::CollectingClient server;
+    (void)publisher.contory().RegisterCxtServer(server);
+    sim::PeriodicTask republish{world.sim(), 5s, [&] {
+      (void)publisher.contory().PublishCxtItem(LightItem(world), true);
+    }};
+
+    core::CollectingClient client;
+    const auto id = requester.contory().ProcessCxtQuery(
+        Q(world.sim(),
+          "SELECT light FROM adHocNetwork DURATION 20 min EVERY 5 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    world.RunFor(30s);  // discovery + connection settle
+    const std::size_t items_before = client.items.size();
+    const std::string req_id = "t2-bt-req-" + std::to_string(run);
+    const std::string prov_id = "t2-bt-prov-" + std::to_string(run);
+    const std::uint64_t req_span = OpenWindowSpan(req_id, world, requester);
+    const std::uint64_t prov_span = OpenWindowSpan(prov_id, world, publisher);
+    world.RunFor(5min);
+    const auto items =
+        static_cast<std::uint64_t>(client.items.size() - items_before);
+    tracer.AddItems(req_span, items);
+    tracer.AddItems(prov_span, items);
+    tracer.EndQuery(req_span, world.Now(), "window");
+    tracer.EndQuery(prov_span, world.Now(), "window");
+
+    for (const auto& [window_id, stats] :
+         {std::pair{req_id, &result.requester_per_item},
+          std::pair{prov_id, &result.provider_per_item}}) {
+      const obs::Span* span = RootSpanOf(window_id);
+      if (span != nullptr) {
+        stats->Add(MarginalPerItem(span->energy_joules(),
+                                   ToSeconds(span->duration()), span->items));
+      }
+    }
+  }
+  return result;
+}
+
+/// intSensor periodic location query over the BT-GPS.
+RunningStats GpsPeriodicFromWindowSpans() {
+  RunningStats joules;
+  auto& tracer = obs::Observability::tracer();
+  for (int run = 0; run < kEnergyRuns; ++run) {
+    testbed::World world{640 + static_cast<std::uint64_t>(run)};
+    testbed::DeviceOptions opts;
+    opts.name = "phone";
+    opts.with_cellular = false;
+    auto& device = world.AddDevice(opts);
+    world.AddGps("gps-1", {3, 0});
+
+    core::CollectingClient client;
+    const auto id = device.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT location DURATION 20 min EVERY 5 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    world.RunFor(30s);  // discovery + SDP + connect
+    const std::size_t items_before = client.items.size();
+    const std::string window_id = "t2-gps-" + std::to_string(run);
+    const std::uint64_t span = OpenWindowSpan(window_id, world, device);
+    world.RunFor(5min);
+    tracer.AddItems(span, static_cast<std::uint64_t>(client.items.size() -
+                                                     items_before));
+    tracer.EndQuery(span, world.Now(), "window");
+    const obs::Span* finished = RootSpanOf(window_id);
+    if (finished != nullptr) {
+      joules.Add(MarginalPerItem(finished->energy_joules(),
+                                 ToSeconds(finished->duration()),
+                                 finished->items));
+    }
+  }
+  return joules;
+}
+
+/// WiFi periodic get over `hops` hops: one explicit span per measured
+/// round (launch -> delivery), back-light on as in the paper.
+RunningStats WifiRoundFromWindowSpans(int hops) {
+  RunningStats joules;
+  auto& tracer = obs::Observability::tracer();
+  for (int run = 0; run < kEnergyRuns; ++run) {
+    testbed::World world{660 + static_cast<std::uint64_t>(hops * 20 + run)};
+    std::vector<testbed::Device*> devices;
+    for (int i = 0; i <= hops; ++i) {
+      testbed::DeviceOptions opts;
+      opts.name = "comm-" + std::to_string(i);
+      opts.profile = phone::Nokia9500();
+      opts.position = {i * 80.0, 0};
+      opts.with_bt = false;
+      opts.with_wifi = true;
+      opts.with_cellular = false;
+      devices.push_back(&world.AddDevice(opts));
+    }
+    devices[0]->phone().SetBacklightOn(true);
+    core::CollectingClient server;
+    (void)devices.back()->contory().RegisterCxtServer(server);
+    sim::PeriodicTask republish{world.sim(), 5s, [&] {
+      (void)devices.back()->contory().PublishCxtItem(LightItem(world), true);
+    }};
+    world.RunFor(1s);
+
+    core::CollectingClient client;
+    const auto id = devices[0]->contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM adHocNetwork(1," +
+                           std::to_string(hops) +
+                           ") DURATION 20 min EVERY 30 sec"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    const std::size_t target = client.items.size() + 1;
+    // Align to the next EVERY boundary, then meter exactly one round.
+    world.RunFor(30s - (world.Now().time_since_epoch() % 30s));
+    const std::string window_id =
+        "t2-wifi" + std::to_string(hops) + "-" + std::to_string(run);
+    const std::uint64_t span = OpenWindowSpan(window_id, world, *devices[0]);
+    while (client.items.size() < target && world.sim().Step()) {
+    }
+    tracer.AddItems(span, 1);
+    tracer.EndQuery(span, world.Now(), "round");
+    const obs::Span* finished = RootSpanOf(window_id);
+    if (finished != nullptr) joules.Add(finished->energy_joules());
+  }
+  return joules;
+}
+
+/// extInfra on-demand get: the root span closes at the on-demand round's
+/// completion, before the UMTS radio tails decay, so the paper's window
+/// (first item + 30 s of DCH/FACH tail) needs an explicit span.
+RunningStats UmtsOnDemandFromWindowSpans() {
+  RunningStats joules;
+  auto& tracer = obs::Observability::tracer();
+  testbed::World world{690};
+  testbed::DeviceOptions opts;
+  opts.name = "requester";
+  opts.infra_address = "infra.dynamos.fi";
+  opts.with_bt = false;
+  auto& device = world.AddDevice(opts);
+  auto& server = world.AddContextServer("infra.dynamos.fi");
+  server.StoreDirect({LightItem(world), "boat-7", std::nullopt});
+  for (int run = 0; run < kEnergyRuns; ++run) {
+    world.RunFor(60s);  // radio back to idle
+    core::CollectingClient client;
+    const std::string window_id = "t2-umts-" + std::to_string(run);
+    const std::uint64_t span = OpenWindowSpan(window_id, world, device);
+    const auto id = device.contory().ProcessCxtQuery(
+        Q(world.sim(), "SELECT light FROM extInfra DURATION 1 min"),
+        client);
+    if (!id.ok()) throw std::runtime_error(id.status().ToString());
+    while (client.items.empty() && world.sim().Step()) {
+    }
+    world.RunFor(30s);  // DCH + FACH tails decay
+    tracer.AddItems(span, 1);
+    tracer.EndQuery(span, world.Now(), "window");
+    const obs::Span* finished = RootSpanOf(window_id);
+    if (finished != nullptr) joules.Add(finished->energy_joules());
+  }
+  return joules;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeading(
+      "Tables 1 & 2 reconstructed from the metrics registry and tracer");
+
+  // ---- Table 1: operation latencies from registry histograms ----------
+  std::vector<bench::Row> t1;
+
+  obs::Observability::ResetForTest();
+  RunBtPublishes();
+  t1.push_back({"adHocNetwork BT: publishCxtItem",
+                HistCell("op_latency_ms",
+                         {{"op", "publishCxtItem"},
+                          {"mechanism", "adHocNetwork"},
+                          {"transport", "bt"}},
+                         "ms"),
+                "140.359 ms", "op_latency_ms histogram"});
+
+  obs::Observability::ResetForTest();
+  RunWifiPublishes();
+  t1.push_back({"adHocNetwork WiFi: publishCxtItem",
+                HistCell("op_latency_ms",
+                         {{"op", "publishCxtItem"},
+                          {"mechanism", "adHocNetwork"},
+                          {"transport", "wifi"}},
+                         "ms"),
+                "0.130 ms", "op_latency_ms histogram"});
+
+  obs::Observability::ResetForTest();
+  RunUmtsPublishes();
+  t1.push_back({"extInfra UMTS: publishCxtItem",
+                HistCell("op_latency_ms",
+                         {{"op", "publishCxtItem"},
+                          {"mechanism", "extInfra"},
+                          {"transport", "cellular"}},
+                         "ms"),
+                "772.728 ms", "op_latency_ms histogram"});
+
+  // getCxtItem rows: the DeliveryRouter's submission-to-first-item
+  // histogram. For BT the window spans the whole discovery chain, so the
+  // paper reference is the sum of its three reported components
+  // (13 s inquiry + 1.12 s SDP + 31.830 ms poll ~= 14.15 s).
+  obs::Observability::ResetForTest();
+  RunBtGets();
+  t1.push_back({"adHocNetwork BT one hop: getCxtItem",
+                HistCell("first_delivery_latency_ms",
+                         {{"mechanism", "adHocNetwork"}}, "ms"),
+                "~14152 ms", "incl. discovery (13 s + 1.12 s + 31.8 ms)"});
+
+  obs::Observability::ResetForTest();
+  RunWifiGets(1);
+  t1.push_back({"adHocNetwork WiFi one hop: getCxtItem",
+                HistCell("first_delivery_latency_ms",
+                         {{"mechanism", "adHocNetwork"}}, "ms"),
+                "761.280 ms", "first_delivery histogram"});
+
+  obs::Observability::ResetForTest();
+  RunWifiGets(2);
+  t1.push_back({"adHocNetwork WiFi two hops: getCxtItem",
+                HistCell("first_delivery_latency_ms",
+                         {{"mechanism", "adHocNetwork"}}, "ms"),
+                "1422.500 ms", "first_delivery histogram"});
+
+  obs::Observability::ResetForTest();
+  RunUmtsGets();
+  t1.push_back({"extInfra UMTS: getCxtItem",
+                HistCell("first_delivery_latency_ms",
+                         {{"mechanism", "extInfra"}}, "ms"),
+                "1473.000 ms", "first_delivery histogram"});
+
+  bench::PrintTable("Table 1 via registry (avg [90% CI] over 8 runs)",
+                    "source", t1);
+
+  // ---- Table 2: energy per context item from tracer spans -------------
+  std::vector<bench::Row> t2;
+
+  obs::Observability::ResetForTest();
+  const BtPeriodicResult bt_periodic = BtPeriodicFromWindowSpans();
+  t2.push_back({"adHocNetwork BT: provideCxtItem",
+                bench::Cell(bt_periodic.provider_per_item) + " J",
+                "0.133 J", "provider-side window span"});
+  t2.push_back({"adHocNetwork BT: getCxtItem (periodic)",
+                bench::Cell(bt_periodic.requester_per_item) + " J",
+                "0.099 J", "requester-side window span"});
+
+  obs::Observability::ResetForTest();
+  t2.insert(t2.begin() + 1,
+            {"adHocNetwork BT: getCxtItem (on-demand+discovery)",
+             bench::Cell(BtOnDemandFromRootSpans()) + " J", "5.270 J",
+             "query root span"});
+
+  obs::Observability::ResetForTest();
+  t2.push_back({"intSensor BT-GPS: getCxtItem (periodic)",
+                bench::Cell(GpsPeriodicFromWindowSpans()) + " J", "0.422 J",
+                "window span, marginal/item"});
+
+  obs::Observability::ResetForTest();
+  t2.push_back({"adHocNetwork WiFi 1 hop: getCxtItem (periodic)",
+                bench::Cell(WifiRoundFromWindowSpans(1)) + " J", ">0.906 J",
+                "one-round span, back-light on"});
+
+  obs::Observability::ResetForTest();
+  t2.push_back({"adHocNetwork WiFi 2 hops: getCxtItem (periodic)",
+                bench::Cell(WifiRoundFromWindowSpans(2)) + " J", ">1.693 J",
+                "one-round span, back-light on"});
+
+  obs::Observability::ResetForTest();
+  t2.push_back({"extInfra UMTS: getCxtItem (on-demand)",
+                bench::Cell(UmtsOnDemandFromWindowSpans()) + " J",
+                "14.076 J", "window span incl. radio tails"});
+
+  bench::PrintTable("Table 2 via tracer spans (avg [90% CI] over 5 runs)",
+                    "source", t2);
+
+  std::printf(
+      "\nEvery cell above is read back from the observability subsystem\n"
+      "(op_latency_ms / first_delivery_latency_ms histograms, query root\n"
+      "spans, explicit tracer window spans); bench/table1_latency and\n"
+      "bench/table2_energy measure the same scenarios with bench-side\n"
+      "timers, so the two reports cross-check the instrumentation.\n");
+  return 0;
+}

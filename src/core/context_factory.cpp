@@ -5,6 +5,7 @@
 #include "core/providers/local_provider.hpp"
 #include "infra/context_server.hpp"
 #include "infra/event_broker.hpp"
+#include "obs/observability.hpp"
 #include "sensors/gps.hpp"
 
 namespace contory::core {
@@ -50,6 +51,12 @@ ContextFactory::ContextFactory(DeviceServices services,
               [this](const std::string& query_id, query::SourceSel kind) {
                 facades_.at(kind)->Cancel(query_id);
               }}) {
+  // Tracer spans attribute energy to the owning device; the phone is
+  // owned by the caller (testbed::World) and outlives this factory.
+  table_.SetEnergyProbe([phone = services_.phone] {
+    return phone->energy().TotalEnergyJoules();
+  });
+
   publisher_ = std::make_unique<CxtPublisher>(bt_ref_, wifi_ref_);
   WireReferences();
   BuildFacades();
@@ -141,8 +148,8 @@ void ContextFactory::BuildFacades() {
         },
         policy);
     facade->SetDelivery(
-        [this](const std::string& query_id, const CxtItem& item) {
-          router_.OnFacadeDelivery(query_id, item);
+        [this, kind](const std::string& query_id, const CxtItem& item) {
+          router_.OnFacadeDelivery(query_id, item, kind);
         });
     facade->SetFinished(
         [this, kind](const std::string& query_id, const Status& status) {
@@ -200,14 +207,53 @@ Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
 
 Status ContextFactory::AssignToFacade(QueryRecord& record,
                                       query::SourceSel kind) {
+  bool armed = false;
+  COBS({
+    // One provision window per mechanism the query is ever assigned to;
+    // re-assignment after failover opens a fresh window. Assignment sits
+    // on the submit hot path, so only the window's start and an energy
+    // sample are recorded here ("armed"); EnsureProvisionSpan()
+    // materializes the tracer span at the stage's first real event.
+    // Arming happens before Submit because providers may deliver their
+    // first item synchronously from inside it, and that delivery must
+    // land on the span with the assignment-time start.
+    const auto i = static_cast<std::size_t>(kind);
+    QueryRecord::ObsSpans& spans = record.obs;
+    if (spans.provision[i] == 0 && !spans.provision_pending[i]) {
+      spans.provision_pending[i] = true;
+      spans.provision_start[i] = services_.sim->Now();
+      spans.provision_energy0[i] =
+          services_.phone->energy().TotalEnergyJoules();
+      armed = true;
+    }
+  });
   const Status s = facades_.at(kind)->Submit(record.query);
-  if (s.ok()) record.assigned.insert(kind);
+  if (s.ok()) {
+    record.assigned.insert(kind);
+  } else if (armed) {
+    COBS({
+      const std::uint64_t span = EnsureProvisionSpan(record, kind);
+      if (span != 0) {
+        obs::Observability::tracer().EndStage(span, services_.sim->Now(),
+                                              "not-assigned");
+      }
+      const auto i = static_cast<std::size_t>(kind);
+      record.obs.provision[i] = 0;
+      record.obs.provision_pending[i] = false;
+    });
+  }
   return s;
 }
 
 void ContextFactory::CancelCxtQuery(const std::string& query_id) {
   QueryRecord* record = table_.Find(query_id);
   if (record == nullptr) return;
+  COBS({
+    obs::Observability::tracer().AddNote(record->obs.root, "cancelled");
+    static obs::Counter& cancelled =
+        obs::Observability::metrics().GetCounter("queries_cancelled_total");
+    cancelled.Inc();
+  });
   for (const query::SourceSel kind : record->assigned) {
     facades_.at(kind)->Cancel(query_id);
   }
@@ -255,6 +301,7 @@ void ContextFactory::StoreCxtItem(const CxtItem& item,
     return;  // local-only until connectivity returns
   }
   const auto pos = services_.medium->GetPosition(services_.node);
+  const SimTime sent = services_.sim->Now();
   cell_ref_.SendRequest(
       services_.default_infra_address,
       infra::EncodeStoreRequest(
@@ -262,7 +309,20 @@ void ContextFactory::StoreCxtItem(const CxtItem& item,
           pos.ok() ? std::optional<GeoPoint>{sensors::ToGeo(*pos)}
                    : std::nullopt,
           item),
-      [done = std::move(done)](Result<std::vector<std::byte>> r) {
+      [this, life = life_, sent,
+       done = std::move(done)](Result<std::vector<std::byte>> r) {
+        // Table 1's publishCxtItem row for the infrastructure transport:
+        // the round trip from store request to server acknowledgement.
+        COBS({
+          if (*life && r.ok()) {
+            obs::Observability::metrics()
+                .GetHistogram("op_latency_ms",
+                              {{"op", "publishCxtItem"},
+                               {"mechanism", "extInfra"},
+                               {"transport", "cellular"}})
+                .Observe(ToMillis(services_.sim->Now() - sent));
+          }
+        });
         if (done) done(r.ok() ? Status::Ok() : r.status());
       });
 }

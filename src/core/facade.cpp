@@ -3,11 +3,36 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::core {
 namespace {
 constexpr const char* kModule = "facade";
+
+/// Cached per-mechanism registry handles — Submit is the hot path, and
+/// handles are stable across Reset() (see MetricsRegistry).
+obs::Counter& ProvidersCreatedCounter(query::SourceSel kind) {
+  static obs::Counter* by_kind[4] = {};
+  auto& slot = by_kind[static_cast<std::size_t>(kind)];
+  if (slot == nullptr) {
+    slot = &obs::Observability::metrics().GetCounter(
+        "providers_created_total",
+        {{"mechanism", query::SourceSelName(kind)}});
+  }
+  return *slot;
 }
+
+obs::Counter& MergedCounter(query::SourceSel kind) {
+  static obs::Counter* by_kind[4] = {};
+  auto& slot = by_kind[static_cast<std::size_t>(kind)];
+  if (slot == nullptr) {
+    slot = &obs::Observability::metrics().GetCounter(
+        "queries_merged_total", {{"mechanism", query::SourceSelName(kind)}});
+  }
+  return *slot;
+}
+
+}  // namespace
 
 Facade::Facade(sim::Simulation& sim, query::SourceSel kind,
                ProviderFactory provider_factory, query::MergePolicy policy)
@@ -41,6 +66,7 @@ Status Facade::StartCluster(Cluster& cluster) {
     return Internal("provider factory returned null");
   }
   ++providers_created_;
+  COBS(ProvidersCreatedCounter(kind_).Inc());
   starting_ = &cluster;
   cluster.provider->Start();
   starting_ = nullptr;
@@ -62,6 +88,7 @@ Status Facade::Submit(query::CxtQuery q) {
       CLOG_DEBUG(kModule, "%s: merged %s into %s",
                  query::SourceSelName(kind_), q.id.c_str(),
                  cluster->merged.id.c_str());
+      COBS(MergedCounter(kind_).Inc());
       cluster->merged = *std::move(merged);
       by_original_id_[q.id] = cluster;
       ++live_originals_;

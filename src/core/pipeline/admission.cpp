@@ -1,8 +1,34 @@
 #include "core/pipeline/admission.hpp"
 
+#include "obs/observability.hpp"
+
 namespace contory::core {
+namespace {
+
+void CountAdmissionOutcome(const Status& s) {
+  if (s.ok()) {
+    static obs::Counter& admitted =
+        obs::Observability::metrics().GetCounter("queries_admitted_total");
+    admitted.Inc();
+  } else {
+    obs::Observability::metrics()
+        .GetCounter("queries_rejected_total",
+                    {{"code", StatusCodeName(s.code())}})
+        .Inc();
+  }
+}
+
+}  // namespace
 
 Status AdmissionController::Admit(
+    query::CxtQuery& query, Client& client,
+    const std::set<RuleAction>& active_actions) {
+  const Status s = DoAdmit(query, client, active_actions);
+  COBS(CountAdmissionOutcome(s));
+  return s;
+}
+
+Status AdmissionController::DoAdmit(
     query::CxtQuery& query, Client& client,
     const std::set<RuleAction>& active_actions) {
   if (const Status s = query.Validate(); !s.ok()) return s;

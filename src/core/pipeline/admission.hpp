@@ -32,6 +32,9 @@ class AdmissionController {
                const std::set<RuleAction>& active_actions);
 
  private:
+  Status DoAdmit(query::CxtQuery& query, Client& client,
+                 const std::set<RuleAction>& active_actions);
+
   sim::Simulation& sim_;
   AccessController& access_;
   QueryTable& table_;

@@ -2,12 +2,51 @@
 
 #include <utility>
 
+#include "obs/observability.hpp"
+
 namespace contory::core {
+namespace {
+
+/// Cached per-mechanism delivery counter — one delivery per item makes
+/// this the densest hook; handles are stable across Reset().
+obs::Counter& DeliveredCounter(query::SourceSel kind) {
+  static obs::Counter* by_kind[4] = {};
+  auto& slot = by_kind[static_cast<std::size_t>(kind)];
+  if (slot == nullptr) {
+    slot = &obs::Observability::metrics().GetCounter(
+        "items_delivered_total",
+        {{"mechanism", query::SourceSelName(kind)}});
+  }
+  return *slot;
+}
+
+/// Delivery bookkeeping fired just before an item is handed to the
+/// client queue: per-mechanism counters, span item counts, and the
+/// query's time-to-first-item (the paper's getCxtItem latency, measured
+/// from submission to the first context item).
+void NoteDelivered(QueryRecord& record, query::SourceSel mechanism,
+                   std::uint64_t items_before, SimTime now) {
+  auto& metrics = obs::Observability::metrics();
+  const char* mech = query::SourceSelName(mechanism);
+  DeliveredCounter(mechanism).Inc();
+  auto& tracer = obs::Observability::tracer();
+  tracer.AddItems(record.obs.root);
+  tracer.AddItems(EnsureProvisionSpan(record, mechanism));
+  if (items_before == 0) {
+    metrics
+        .GetHistogram("first_delivery_latency_ms", {{"mechanism", mech}})
+        .Observe(ToMillis(now - record.submitted));
+  }
+}
+
+}  // namespace
 
 void DeliveryRouter::OnFacadeDelivery(const std::string& query_id,
-                                      const CxtItem& item) {
+                                      const CxtItem& item,
+                                      query::SourceSel mechanism) {
   QueryRecord* record = table_.Find(query_id);
   if (record == nullptr || record->client == nullptr) return;
+  const std::uint64_t items_before = record->items_delivered;
   // Dedup by item id only when several mechanisms serve the query; a
   // single mechanism legitimately re-delivers an unchanged observation on
   // every periodic round.
@@ -23,10 +62,14 @@ void DeliveryRouter::OnFacadeDelivery(const std::string& query_id,
     auto fused = agg->second.Process(item);
     if (!fused.has_value()) return;
     repository_.Store(*fused);
+    // Hooks fire before Route(): a client cancelling from inside
+    // ReceiveCxtItem erases the record, so it must not be touched after.
+    COBS(NoteDelivered(*record, mechanism, items_before, sim_.Now()));
     Route(*record, *fused);
     return;
   }
   repository_.Store(item);
+  COBS(NoteDelivered(*record, mechanism, items_before, sim_.Now()));
   Route(*record, item);
 }
 
@@ -34,6 +77,14 @@ void DeliveryRouter::DeliverStale(QueryRecord& record, CxtItem item) {
   item.metadata.staleness_seconds =
       ToSeconds(sim_.Now() - item.timestamp);
   ++record.items_delivered;
+  COBS({
+    obs::Observability::metrics()
+        .GetCounter("degraded_deliveries_total")
+        .Inc();
+    auto& tracer = obs::Observability::tracer();
+    tracer.AddItems(record.obs.root);
+    tracer.AddItems(record.obs.degraded);
+  });
   Route(record, item);
 }
 

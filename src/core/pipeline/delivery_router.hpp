@@ -31,8 +31,10 @@ class DeliveryRouter {
       : sim_(sim), table_(table), repository_(repository) {}
 
   /// Facade delivery entry: dedup across mechanisms, fusion, repository
-  /// store, then the per-client queue.
-  void OnFacadeDelivery(const std::string& query_id, const CxtItem& item);
+  /// store, then the per-client queue. `mechanism` names the facade kind
+  /// that produced the item (delivery metrics + span attribution).
+  void OnFacadeDelivery(const std::string& query_id, const CxtItem& item,
+                        query::SourceSel mechanism);
 
   /// Degraded-mode delivery: annotates the item's age before routing
   /// ("explicit staleness metadata instead of erroring").

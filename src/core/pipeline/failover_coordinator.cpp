@@ -2,12 +2,20 @@
 
 #include "common/logging.hpp"
 #include "core/model/vocabulary.hpp"
+#include "obs/observability.hpp"
 #include "sensors/gps.hpp"
 
 namespace contory::core {
 namespace {
 constexpr const char* kModule = "failover";
+
+obs::Gauge& DegradedGauge() {
+  static obs::Gauge& g =
+      obs::Observability::metrics().GetGauge("queries_degraded");
+  return g;
 }
+
+}  // namespace
 
 FailoverCoordinator::FailoverCoordinator(
     sim::Simulation& sim, FailoverConfig config, QueryTable& table,
@@ -46,6 +54,22 @@ void FailoverCoordinator::OnFacadeFinished(query::SourceSel kind,
   QueryRecord* record = table_.Find(query_id);
   if (record == nullptr) return;
   record->assigned.erase(kind);
+  COBS({
+    // The mechanism's provision window ends here, successful or not.
+    const std::uint64_t span = EnsureProvisionSpan(*record, kind);
+    if (span != 0) {
+      obs::Observability::tracer().EndStage(
+          span, sim_.Now(),
+          status.ok() ? "ok" : "failed: " + status.ToString());
+      record->obs.provision[static_cast<std::size_t>(kind)] = 0;
+    }
+    if (!status.ok()) {
+      obs::Observability::metrics()
+          .GetCounter("provider_failures_total",
+                      {{"mechanism", query::SourceSelName(kind)}})
+          .Inc();
+    }
+  });
   if (status.ok()) {
     // Duration complete on this mechanism; the query is over when no
     // facade still serves it.
@@ -56,6 +80,13 @@ void FailoverCoordinator::OnFacadeFinished(query::SourceSel kind,
             query::SourceSelName(kind), status.ToString().c_str());
   record->failed.insert(kind);
   table_.Transition(*record, QueryState::kFailingOver);
+  COBS({
+    if (record->obs.failover == 0) {
+      record->obs.failover = obs::Observability::tracer().BeginStage(
+          record->obs.root, "failover", query::SourceSelName(kind),
+          sim_.Now());
+    }
+  });
   TryFailover(*record, kind, status);
 }
 
@@ -86,6 +117,13 @@ void FailoverCoordinator::TryFailover(QueryRecord& record,
     } else {
       // Another mechanism still serves the query; resume normal life.
       table_.Transition(record, QueryState::kActive);
+      COBS({
+        if (record.obs.failover != 0) {
+          obs::Observability::tracer().EndStage(record.obs.failover,
+                                                sim_.Now(), "resumed");
+          record.obs.failover = 0;
+        }
+      });
     }
     return;
   }
@@ -96,6 +134,19 @@ void FailoverCoordinator::TryFailover(QueryRecord& record,
     return;
   }
   table_.Transition(record, QueryState::kActive);
+  COBS({
+    obs::Observability::metrics()
+        .GetCounter("failovers_total",
+                    {{"from", query::SourceSelName(failed_kind)},
+                     {"to", query::SourceSelName(*replacement)}})
+        .Inc();
+    if (record.obs.failover != 0) {
+      obs::Observability::tracer().EndStage(
+          record.obs.failover, sim_.Now(),
+          std::string("switched:") + query::SourceSelName(*replacement));
+      record.obs.failover = 0;
+    }
+  });
   switch_log_.push_back(SwitchEvent{sim_.Now(), record.query.id,
                                     failed_kind, *replacement});
   CLOG_INFO(kModule, "query %s switched %s -> %s", record.query.id.c_str(),
@@ -211,6 +262,21 @@ bool FailoverCoordinator::EnterDegradedMode(QueryRecord& record,
     return false;  // nothing cached: a stale answer is not possible
   }
   table_.Transition(record, QueryState::kDegraded);
+  COBS({
+    auto& tracer = obs::Observability::tracer();
+    if (record.obs.failover != 0) {
+      tracer.EndStage(record.obs.failover, sim_.Now(), "degraded");
+      record.obs.failover = 0;
+    }
+    if (record.obs.degraded == 0) {
+      record.obs.degraded =
+          tracer.BeginStage(record.obs.root, "degraded", nullptr, sim_.Now());
+    }
+    obs::Observability::metrics()
+        .GetCounter("queries_degraded_total")
+        .Inc();
+    DegradedGauge().Add(1.0);
+  });
   CLOG_INFO(kModule, "query %s degraded (%s): serving stale repository data",
             id.c_str(), cause.ToString().c_str());
   record.client->InformError("query " + id +
@@ -268,6 +334,18 @@ void FailoverCoordinator::ProbeDegradedRecovery(const std::string& query_id) {
   if (!kind.ok()) return;  // everything still down
   if (!hooks_.assign(*record, *kind).ok()) return;  // next probe retries
   table_.Transition(*record, QueryState::kActive);
+  COBS({
+    if (record->obs.degraded != 0) {
+      obs::Observability::tracer().EndStage(
+          record->obs.degraded, sim_.Now(),
+          std::string("recovered:") + query::SourceSelName(*kind));
+      record->obs.degraded = 0;
+    }
+    DegradedGauge().Add(-1.0);
+    obs::Observability::metrics()
+        .GetCounter("degraded_recoveries_total")
+        .Inc();
+  });
   record->failed.clear();
   degraded_tasks_.erase(query_id);
   // `from` approximates: degraded mode has no SourceSel of its own.

@@ -3,10 +3,69 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::core {
 namespace {
 constexpr const char* kModule = "querytable";
+
+/// Cached registry handles (stable across Reset(); see MetricsRegistry).
+obs::Gauge& LiveGauge() {
+  static obs::Gauge& g =
+      obs::Observability::metrics().GetGauge("queries_live");
+  return g;
+}
+
+obs::Counter& CompletedCounter(QueryState from) {
+  static obs::Counter* by_state[5] = {};
+  auto& slot = by_state[static_cast<std::size_t>(from)];
+  if (slot == nullptr) {
+    slot = &obs::Observability::metrics().GetCounter(
+        "queries_completed_total", {{"state", QueryStateName(from)}});
+  }
+  return *slot;
+}
+
+}  // namespace
+
+std::uint64_t EnsureProvisionSpan(QueryRecord& record,
+                                  query::SourceSel kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  QueryRecord::ObsSpans& spans = record.obs;
+  if (spans.provision[i] == 0 && spans.provision_pending[i]) {
+    spans.provision_pending[i] = false;
+    spans.provision[i] = obs::Observability::tracer().BeginStageAt(
+        spans.root, "provision", query::SourceSelName(kind),
+        spans.provision_start[i], spans.provision_energy0[i]);
+  }
+  return spans.provision[i];
+}
+
+QueryTable::~QueryTable() {
+  COBS({
+    auto& tracer = obs::Observability::tracer();
+    for (auto& [id, record] : records_) {
+      QueryRecord::ObsSpans& spans = record.obs;
+      for (std::size_t k = 0; k < 4; ++k) {
+        const std::uint64_t sid =
+            EnsureProvisionSpan(record, static_cast<query::SourceSel>(k));
+        if (sid != 0) tracer.EndStage(sid, sim_.Now(), "torn-down");
+      }
+      if (spans.failover != 0) {
+        tracer.EndStage(spans.failover, sim_.Now(), "torn-down");
+      }
+      if (spans.degraded != 0) {
+        tracer.EndStage(spans.degraded, sim_.Now(), "torn-down");
+      }
+      if (spans.root != 0) {
+        tracer.EndQuery(spans.root, sim_.Now(), "torn-down");
+        LiveGauge().Add(-1.0);
+      }
+      if (record.state == QueryState::kDegraded) {
+        obs::Observability::metrics().GetGauge("queries_degraded").Add(-1.0);
+      }
+    }
+  });
 }
 
 const char* QueryStateName(QueryState state) noexcept {
@@ -32,6 +91,11 @@ Status QueryTable::Admit(query::CxtQuery query, Client& client) {
   record.client = &client;
   record.state = QueryState::kAdmitted;
   record.submitted = sim_.Now();
+  COBS({
+    record.obs.root = obs::Observability::tracer().BeginQuery(
+        record.query.id, record.submitted, energy_probe_);
+    LiveGauge().Add(1.0);
+  });
   records_.emplace(record.query.id, std::move(record));
   ++total_admitted_;
   return Status::Ok();
@@ -71,6 +135,14 @@ bool QueryTable::Transition(QueryRecord& record, QueryState to) {
   if (record.state == to) return true;  // idempotent self-edge
   if (!ValidEdge(record.state, to)) {
     ++invalid_transitions_;
+    if (invalid_transitions_ == 1) {
+      CLOG_WARN(kModule,
+                "first refused state-machine edge observed — a pipeline "
+                "stage is driving the lifecycle out of order");
+    }
+    COBS(obs::Observability::metrics()
+             .GetCounter("query_invalid_transitions_total")
+             .Inc());
     CLOG_WARN(kModule, "query %s: refused %s -> %s",
               record.query.id.c_str(), QueryStateName(record.state),
               QueryStateName(to));
@@ -83,7 +155,43 @@ bool QueryTable::Transition(QueryRecord& record, QueryState to) {
 void QueryTable::Finish(const std::string& id) {
   const auto it = records_.find(id);
   if (it == records_.end()) return;
-  completions_.push_back(Completion{id, it->second.state, sim_.Now()});
+  const QueryState from = it->second.state;
+  const SimTime now = sim_.Now();
+  COBS({
+    // Single close point for the whole span tree: any stage span still
+    // open at the terminal transition is force-closed here, then the
+    // root closes exactly once with the state the query finished from.
+    auto& tracer = obs::Observability::tracer();
+    QueryRecord::ObsSpans& spans = it->second.obs;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const std::uint64_t sid =
+          EnsureProvisionSpan(it->second, static_cast<query::SourceSel>(k));
+      if (sid != 0) tracer.EndStage(sid, now, "closed-at-finish");
+      spans.provision[k] = 0;
+    }
+    if (spans.failover != 0) {
+      tracer.EndStage(spans.failover, now, "closed-at-finish");
+      spans.failover = 0;
+    }
+    if (spans.degraded != 0) {
+      tracer.EndStage(spans.degraded, now, "closed-at-finish");
+      spans.degraded = 0;
+    }
+    if (spans.root != 0) {
+      tracer.EndQuery(spans.root, now, QueryStateName(from));
+      spans.root = 0;
+    }
+    LiveGauge().Add(-1.0);
+    CompletedCounter(from).Inc();
+    // A query that dies while degraded leaves the degraded population;
+    // recovery (the other exit) decrements in the FailoverCoordinator.
+    if (from == QueryState::kDegraded) {
+      static obs::Gauge& degraded =
+          obs::Observability::metrics().GetGauge("queries_degraded");
+      degraded.Add(-1.0);
+    }
+  });
+  completions_.push_back(Completion{id, from, now});
   records_.erase(it);
 }
 

@@ -34,6 +34,7 @@
 #include "common/status.hpp"
 #include "core/client.hpp"
 #include "core/query/query.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulation.hpp"
 
 namespace contory::core {
@@ -80,10 +81,35 @@ struct QueryRecord {
   std::unordered_set<std::string> seen_items;
   std::vector<std::string> seen_order;
 
+  /// Tracer span handles (0 = no span). Plain uint64 fields — the hot
+  /// path must never do a string-keyed lookup to find its span. One
+  /// provision slot per SourceSel mechanism (indexed by its enum value).
+  struct ObsSpans {
+    std::uint64_t root = 0;
+    std::uint64_t provision[4] = {0, 0, 0, 0};
+    /// Deferred provision-span opens: facade assignment sits on the
+    /// submit hot path, so it only records the window start and an
+    /// energy sample here ("armed"); EnsureProvisionSpan() materializes
+    /// the tracer span at the stage's first real event (delivery,
+    /// failover, finish) with these as its true open-time values.
+    SimTime provision_start[4] = {};
+    double provision_energy0[4] = {0.0, 0.0, 0.0, 0.0};
+    bool provision_pending[4] = {false, false, false, false};
+    std::uint64_t failover = 0;
+    std::uint64_t degraded = 0;
+  };
+  ObsSpans obs;
+
   [[nodiscard]] bool degraded() const noexcept {
     return state == QueryState::kDegraded;
   }
 };
+
+/// Returns the provision-span handle for `kind`, materializing a span
+/// armed at facade assignment on first use. 0 when the mechanism never
+/// had an assignment window or the root span is already closed. Callers
+/// are expected to be inside a COBS block.
+std::uint64_t EnsureProvisionSpan(QueryRecord& record, query::SourceSel kind);
 
 class QueryTable {
  public:
@@ -97,8 +123,19 @@ class QueryTable {
   };
 
   explicit QueryTable(sim::Simulation& sim) : sim_(sim) {}
+  /// Force-closes the spans of any still-live record so the tracer never
+  /// leaks open spans (and never calls an energy probe after teardown).
+  ~QueryTable();
+
+  /// Energy source for tracer spans: the owning device's cumulative
+  /// energy ledger (Joules). Set once by the factory that owns this
+  /// table; queries admitted while unset simply carry no energy.
+  void SetEnergyProbe(obs::QueryTracer::EnergyProbe probe) {
+    energy_probe_ = std::move(probe);
+  }
 
   /// Registers a submitted query in state ADMITTED; assigns nothing yet.
+  /// Opens the query's root tracer span.
   Status Admit(query::CxtQuery query, Client& client);
 
   [[nodiscard]] QueryRecord* Find(const std::string& id);
@@ -148,6 +185,7 @@ class QueryTable {
   std::vector<Completion> completions_;
   std::uint64_t invalid_transitions_ = 0;
   std::uint64_t total_admitted_ = 0;
+  obs::QueryTracer::EnergyProbe energy_probe_;
 };
 
 }  // namespace contory::core

@@ -1,8 +1,28 @@
 #include "core/publisher.hpp"
 
 #include "common/logging.hpp"
+#include "obs/clock.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::core {
+namespace {
+
+/// Table 1's publishCxtItem rows for the ad hoc transports. The publisher
+/// has no Simulation reference, so this is the obs::Clock use case: time
+/// comes from the process-wide installed source (skipped when none is).
+void ObservePublishLatency(SimTime start, const char* transport) {
+  COBS({
+    if (obs::Clock::installed()) {
+      obs::Observability::metrics()
+          .GetHistogram("op_latency_ms", {{"op", "publishCxtItem"},
+                                          {"mechanism", "adHocNetwork"},
+                                          {"transport", transport}})
+          .Observe(ToMillis(obs::Clock::Now() - start));
+    }
+  });
+}
+
+}  // namespace
 
 std::string CxtServiceName(const std::string& type) {
   return "contory.cxt." + type;
@@ -86,6 +106,7 @@ Result<CxtItem> CxtPublisher::CurrentItem(const std::string& type,
 void CxtPublisher::Publish(const CxtItem& item, std::string access_key,
                            std::function<void(Status)> done) {
   bool any_channel = false;
+  const SimTime pub_start = obs::Clock::Now();
   current_[item.type] = Publication{item, access_key};
 
   // WiFi/SM tag: cheap upsert — "simply creating a new SM tag and storing
@@ -95,14 +116,16 @@ void CxtPublisher::Publish(const CxtItem& item, std::string access_key,
     wifi_.PublishTag(item.type, ToHex(item.Serialize()), item.lifetime,
                      access_key);
     wifi_types_[item.type] = !access_key.empty();
-    if (!bt_.Available() && done) {
-      // Completion after the measured tag-creation cost.
+    if (!bt_.Available()) {
+      // Completion after the measured tag-creation cost — charged and
+      // timed whether or not the caller asked for the acknowledgement.
       sm::SmRuntime* rt = wifi_.sm();
       auto& phone = rt->wifi().phone();
       phone.ChargeCpu(phone.profile().sm_tag_publish_cost);
       rt->sim().ScheduleAfter(phone.profile().sm_tag_publish_cost,
-                              [done = std::move(done)] {
-                                done(Status::Ok());
+                              [pub_start, done = std::move(done)] {
+                                ObservePublishLatency(pub_start, "wifi");
+                                if (done) done(Status::Ok());
                               });
       return;
     }
@@ -117,18 +140,20 @@ void CxtPublisher::Publish(const CxtItem& item, std::string access_key,
     if (handle_it != bt_handles_.end()) {
       const Status s = bt_.controller()->UpdateService(handle_it->second,
                                                        item.Serialize());
+      if (s.ok()) ObservePublishLatency(pub_start, "bt");
       if (done) done(s);
       return;
     }
     bt_.controller()->RegisterService(
         {std::move(service), item.Serialize()},
-        [this, type = item.type,
+        [this, type = item.type, pub_start,
          done = std::move(done)](Result<net::ServiceHandle> handle) {
           if (!handle.ok()) {
             if (done) done(handle.status());
             return;
           }
           bt_handles_[type] = *handle;
+          ObservePublishLatency(pub_start, "bt");
           if (done) done(Status::Ok());
         });
     return;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::fault {
 namespace {
@@ -170,6 +171,18 @@ void FaultInjector::Apply(const FaultAction& action, bool enter) {
     }
   }
   ++injected_;
+  COBS({
+    obs::Observability::metrics()
+        .GetCounter("faults_injected_total",
+                    {{"kind", FaultKindName(action.kind)},
+                     {"phase", enter ? "enter" : "revert"}})
+        .Inc();
+    // Every live query's root span records the fault windows it lived
+    // through, so a slow or failed span can be read next to its cause.
+    obs::Observability::tracer().NoteOpenRoots(
+        std::string("fault:") + FaultKindName(action.kind) + ':' +
+        action.target + (enter ? ":on" : ":off"));
+  });
   Log(action, enter);
 }
 

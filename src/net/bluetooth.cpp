@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::net {
 namespace {
@@ -259,6 +260,14 @@ void BluetoothController::Send(BtLinkId link, std::vector<std::byte> payload,
       segments * phone_.profile().bt_segment_energy_mj / 1e3);
   peer->phone_.energy().AddEnergyJoules(
       segments * peer->phone_.profile().bt_segment_energy_mj / 1e3);
+  COBS({
+    static obs::Counter& frames = obs::Observability::metrics().GetCounter(
+        "radio_tx_frames_total", {{"radio", "bt"}});
+    static obs::Counter& bytes = obs::Observability::metrics().GetCounter(
+        "radio_tx_bytes_total", {{"radio", "bt"}});
+    frames.Inc();
+    bytes.Inc(payload.size());
+  });
   BeginTransferPower();
   peer->BeginTransferPower();
   sim_.ScheduleAfter(
@@ -276,6 +285,14 @@ void BluetoothController::Send(BtLinkId link, std::vector<std::byte> payload,
               peer->data_handler_(peer_link, node_, payload);
             }
           }
+        }
+        if (lost) {
+          COBS({
+            static obs::Counter& dropped =
+                obs::Observability::metrics().GetCounter(
+                    "radio_frames_lost_total", {{"radio", "bt"}});
+            dropped.Inc();
+          });
         }
         if (delivered) {
           if (lost) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::net {
 namespace {
@@ -243,6 +244,14 @@ void CellularModem::SendRequest(
       }, "cell.abort");
       return;
     }
+    COBS({
+      static obs::Counter& frames = obs::Observability::metrics().GetCounter(
+          "radio_tx_frames_total", {{"radio", "cellular"}});
+      static obs::Counter& bytes = obs::Observability::metrics().GetCounter(
+          "radio_tx_bytes_total", {{"radio", "cellular"}});
+      frames.Inc();
+      bytes.Inc(request.size());
+    });
     sim_.ScheduleAfter(
         uplink + phone_.profile().cell_server_turnaround,
         [this, handler, request = std::move(request), finish]() mutable {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::net {
 namespace {
@@ -90,10 +91,24 @@ void WifiController::SendFrame(NodeId to, std::vector<std::byte> payload,
   // Injected frame loss. Drawn only when a loss window is active so the
   // rng stream of loss-free runs is unchanged.
   const bool lost = loss_rate_ > 0.0 && phone_.rng().Bernoulli(loss_rate_);
+  COBS({
+    static obs::Counter& frames = obs::Observability::metrics().GetCounter(
+        "radio_tx_frames_total", {{"radio", "wifi"}});
+    static obs::Counter& bytes = obs::Observability::metrics().GetCounter(
+        "radio_tx_bytes_total", {{"radio", "wifi"}});
+    frames.Inc();
+    bytes.Inc(payload.size());
+  });
   sim_.ScheduleAfter(
       latency,
       [this, to, lost, payload = std::move(payload), done = std::move(done)] {
         if (lost) {
+          COBS({
+            static obs::Counter& dropped =
+                obs::Observability::metrics().GetCounter(
+                    "radio_frames_lost_total", {{"radio", "wifi"}});
+            dropped.Inc();
+          });
           if (done) done(Unavailable("frame lost in the air"));
           return;
         }

@@ -1,0 +1,31 @@
+#include "obs/clock.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace contory::obs {
+namespace {
+
+Clock::Source g_source;
+std::uint64_t g_token = 0;
+
+}  // namespace
+
+std::uint64_t Clock::Install(Source now) {
+  g_source = std::move(now);
+  Log::SetTimeSource(g_source);
+  return ++g_token;
+}
+
+void Clock::Uninstall(std::uint64_t token) {
+  if (token != g_token) return;  // a newer installation owns the clock
+  g_source = nullptr;
+  Log::SetTimeSource(nullptr);
+}
+
+bool Clock::installed() noexcept { return static_cast<bool>(g_source); }
+
+SimTime Clock::Now() { return g_source ? g_source() : kSimEpoch; }
+
+}  // namespace contory::obs

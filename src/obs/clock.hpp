@@ -1,0 +1,45 @@
+// Process-wide simulated-clock accessor.
+//
+// Several cross-cutting facilities need "the current sim time" without a
+// sim::Simulation reference in scope: the log-line prefix
+// (Log::SetTimeSource), QueryTracer spans begun from modules that only
+// see a reference object, and op-latency metrics recorded in leaf
+// components like CxtPublisher. Before this accessor existed each of
+// them could be handed a *different* time source (or none), so a bench
+// that installed the log clock but not the tracer clock produced spans
+// and log lines that disagreed. obs::Clock is the single installation
+// point: Install() wires everything, including Log::SetTimeSource, from
+// one function, so mismatched sources are impossible by construction.
+//
+// testbed::World installs its Simulation on construction and uninstalls
+// on destruction (token-guarded, so a short-lived inner World cannot
+// strand a long-lived outer one without a clock).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+
+namespace contory::obs {
+
+class Clock {
+ public:
+  using Source = std::function<SimTime()>;
+
+  /// Installs `now` as THE process-wide sim-time source and wires the
+  /// log prefix (Log::SetTimeSource) to the same function. Returns a
+  /// token identifying this installation.
+  static std::uint64_t Install(Source now);
+
+  /// Removes the source installed under `token`; a no-op when a newer
+  /// installation has already replaced it (nested Worlds).
+  static void Uninstall(std::uint64_t token);
+
+  [[nodiscard]] static bool installed() noexcept;
+
+  /// Current simulated time; kSimEpoch when nothing is installed.
+  [[nodiscard]] static SimTime Now();
+};
+
+}  // namespace contory::obs

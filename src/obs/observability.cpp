@@ -1,0 +1,23 @@
+#include "obs/observability.hpp"
+
+namespace contory::obs {
+
+bool Observability::enabled_ = true;
+
+MetricsRegistry& Observability::metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+QueryTracer& Observability::tracer() {
+  static QueryTracer tracer;
+  return tracer;
+}
+
+void Observability::ResetForTest() {
+  metrics().Reset();
+  tracer().Reset();
+  enabled_ = true;
+}
+
+}  // namespace contory::obs

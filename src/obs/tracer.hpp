@@ -1,0 +1,203 @@
+// QueryTracer: per-query lifecycle spans.
+//
+// Every admitted query owns exactly one root span, opened at admission
+// and closed exactly once at the QueryTable's terminal Completion. Child
+// spans nest under the root across the pipeline seams:
+//
+//   query (root) ....... admission -> terminal Completion
+//     provision:<mech> .. facade assignment -> facade finished (one per
+//                         mechanism ever assigned; carries item counts)
+//     failover .......... ACTIVE -> FAILING_OVER window, closed with the
+//                         outcome (switched / degraded / exhausted)
+//     degraded .......... stale-served window, closed on recovery/finish
+//
+// Spans carry sim-time start/end, the provisioning mechanism, fault
+// annotations (the FaultInjector notes every transition on all open
+// roots), and energy attributed through the per-query EnergyProbe (the
+// device's energy ledger sampled at open and close) — which is exactly
+// the paper's Table 1 (per-operation latency) and Table 2 (per-item
+// energy) accounting, per query instead of per bench.
+//
+// Span times are *simulated* time: admission/planning happen inside one
+// simulation event and therefore produce zero-width spans by design;
+// the measurable content lives in provision/failover/degraded windows
+// and the root's full lifetime.
+//
+// Cost discipline: spans are identified by plain uint64 handles the
+// instrumented objects keep (QueryRecord.obs), and handles are allocated
+// sequentially, so open spans live in a dense chunked window indexed by
+// (id - base) — opening a span is a couple of sequential cache-line
+// writes, with no hashing and no per-span allocation. Long-lived spans
+// whose window chunk would otherwise pin memory are compacted into an
+// old-generation map (bounded by *concurrently open* spans, not by spans
+// ever started).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace contory::obs {
+
+struct Span {
+  /// Samples the owning device's cumulative energy (Joules). Set on open
+  /// root spans only; cleared at close so retained spans never call into
+  /// torn-down devices. Stage spans read their root's probe instead.
+  std::function<double()> probe;
+  std::uint64_t id = 0;
+  /// 0 for root spans; the root's id for stage spans.
+  std::uint64_t parent = 0;
+  std::string query_id;
+  /// "query" for roots; "provision", "failover", "degraded", ... else.
+  std::string name;
+  /// SourceSelName of the mechanism, or "" when not mechanism-bound.
+  std::string mechanism;
+  SimTime start{};
+  SimTime end{};
+  /// Terminal status, set at close ("ok", "ACTIVE", "failed: ...").
+  std::string status;
+  /// Free-form annotations (fault transitions, switches, cancel notes).
+  std::vector<std::string> notes;
+  double energy_start_j = 0.0;
+  double energy_end_j = 0.0;
+  /// Context items delivered while this span was open.
+  std::uint64_t items = 0;
+  bool open = true;
+
+  [[nodiscard]] double energy_joules() const noexcept {
+    return energy_end_j - energy_start_j;
+  }
+  [[nodiscard]] SimDuration duration() const noexcept { return end - start; }
+};
+
+class QueryTracer {
+ public:
+  /// Samples the owning device's cumulative energy (Joules); wired per
+  /// query at BeginQuery (the QueryTable holds its factory's probe).
+  using EnergyProbe = std::function<double()>;
+
+  QueryTracer() = default;
+  QueryTracer(const QueryTracer&) = delete;
+  QueryTracer& operator=(const QueryTracer&) = delete;
+
+  /// Opens the root span for `query_id`. Returns its handle (never 0).
+  std::uint64_t BeginQuery(const std::string& query_id, SimTime now,
+                           EnergyProbe probe = {});
+
+  /// Opens a stage span nested under root `root_id`. Energy is sampled
+  /// through the root's probe. Returns 0 (a harmless no-op handle) when
+  /// the root is unknown or already closed.
+  std::uint64_t BeginStage(std::uint64_t root_id, const char* name,
+                           const char* mechanism, SimTime now);
+
+  /// BeginStage for deferred opens: the caller supplies the window's
+  /// start time and opening energy sample (captured when the stage
+  /// logically began), so materializing an already-running stage does
+  /// not misattribute its time or energy window.
+  std::uint64_t BeginStageAt(std::uint64_t root_id, const char* name,
+                             const char* mechanism, SimTime start,
+                             double energy_start_j);
+
+  /// Appends a note to an open span; no-op for unknown/closed handles.
+  void AddNote(std::uint64_t span_id, std::string note);
+  /// Annotates every open *root* span (fault transitions are global
+  /// events; each live query records the faults it lived through).
+  void NoteOpenRoots(const std::string& note);
+  /// Counts delivered items on an open span.
+  void AddItems(std::uint64_t span_id, std::uint64_t n = 1);
+
+  /// Closes a stage span; returns the finished span (valid until the
+  /// next tracer call) or nullptr when `span_id` is 0/unknown. Closing
+  /// an already-closed span is counted in double_closes().
+  const Span* EndStage(std::uint64_t span_id, SimTime now,
+                       std::string status);
+  /// Closes the root span exactly once; same contract as EndStage.
+  const Span* EndQuery(std::uint64_t root_id, SimTime now,
+                       std::string status);
+
+  // --- Introspection (tests, exporters, bench/table12_report) ----------
+  [[nodiscard]] std::size_t open_count() const noexcept {
+    return open_count_;
+  }
+  /// Finished spans in completion order, bounded by capacity (oldest
+  /// dropped first; drops counted in spans_dropped()).
+  [[nodiscard]] const std::deque<Span>& finished() const noexcept {
+    return finished_;
+  }
+  /// All finished spans of one query, roots and stages.
+  [[nodiscard]] std::vector<Span> FinishedFor(
+      const std::string& query_id) const;
+  [[nodiscard]] const Span* FindOpen(std::uint64_t span_id) const;
+  [[nodiscard]] std::uint64_t spans_started() const noexcept {
+    return started_;
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const noexcept {
+    return dropped_;
+  }
+  /// Close attempts on already-closed (or force-closed) spans. A nonzero
+  /// value means an instrumentation site fired twice for one lifecycle.
+  [[nodiscard]] std::uint64_t double_closes() const noexcept {
+    return double_closes_;
+  }
+
+  void SetCapacity(std::size_t finished_cap);
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  void Reset();
+
+ private:
+  /// Open spans live in a dense window of fixed chunks: slot index is
+  /// (id - base_), chunks are appended as ids grow and popped from the
+  /// front once every span in them has closed. A slot with id == 0 is
+  /// empty (pristine: closed slots are reset on close, so reused chunks
+  /// never leak stale field values into new spans).
+  static constexpr std::size_t kChunkSpans = 256;  // power of two
+  /// Window bound: beyond this many chunks the front chunk's still-open
+  /// spans are compacted into old_ so churn can't grow memory without
+  /// bound (one immortal query must not pin every chunk after it).
+  static constexpr std::size_t kMaxWindowChunks = 64;
+  static constexpr std::size_t kSpareChunks = 2;
+  struct Chunk {
+    std::array<Span, kChunkSpans> slots;
+    std::size_t live = 0;
+  };
+
+  std::uint64_t InsertStage(const Span& root_span, std::uint64_t root_id,
+                            const char* name, const char* mechanism,
+                            SimTime start, double energy_start_j);
+  const Span* Close(std::uint64_t span_id, SimTime now, std::string status,
+                    bool is_root);
+  void PushFinished(Span&& span);
+
+  /// Slot for freshly-allocated id `id` (always the next sequential id).
+  Span& EmplaceOpen(std::uint64_t id);
+  [[nodiscard]] Span* FindOpenSlot(std::uint64_t span_id);
+  [[nodiscard]] const Span* FindOpenSlot(std::uint64_t span_id) const;
+  /// Moves the span out and empties its slot; false when not open.
+  bool TakeOpen(std::uint64_t span_id, Span& out);
+  void AppendChunk();
+  void TrimFront();
+
+  std::deque<std::unique_ptr<Chunk>> window_;
+  std::vector<std::unique_ptr<Chunk>> spares_;
+  /// Long-lived spans evicted from the window (see kMaxWindowChunks).
+  std::unordered_map<std::uint64_t, Span> old_;
+  /// Id of window_[0].slots[0]; always chunk-aligned relative to id 1.
+  std::uint64_t base_ = 1;
+  std::size_t open_count_ = 0;
+  std::deque<Span> finished_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t started_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t double_closes_ = 0;
+  std::size_t cap_ = 8192;
+};
+
+}  // namespace contory::obs

@@ -1,5 +1,7 @@
 #include "testbed/testbed.hpp"
 
+#include "obs/clock.hpp"
+
 namespace contory::testbed {
 
 World::World(std::uint64_t seed)
@@ -8,9 +10,13 @@ World::World(std::uint64_t seed)
       wifi_bus_(medium_),
       cellular_(sim_),
       environment_(sim_),
-      injector_(sim_) {}
+      injector_(sim_) {
+  // One installation wires the tracer, op-latency metrics and the log
+  // prefix to THE same simulated clock (see obs/clock.hpp).
+  clock_token_ = obs::Clock::Install([this] { return sim_.Now(); });
+}
 
-World::~World() = default;
+World::~World() { obs::Clock::Uninstall(clock_token_); }
 
 Device& World::AddDevice(DeviceOptions options) {
   devices_.push_back(std::make_unique<Device>(*this, options));

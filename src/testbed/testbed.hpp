@@ -143,6 +143,8 @@ class World {
   std::vector<std::unique_ptr<infra::ContextServer>> servers_;
   std::vector<std::unique_ptr<infra::EventBroker>> brokers_;
   std::vector<std::unique_ptr<infra::RegattaService>> regattas_;
+  /// obs::Clock installation owned by this World (0 = superseded).
+  std::uint64_t clock_token_ = 0;
 };
 
 }  // namespace contory::testbed

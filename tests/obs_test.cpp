@@ -1,0 +1,727 @@
+// Observability tests: the MetricsRegistry and QueryTracer in isolation,
+// the obs::Clock installation semantics, and the span-lifecycle
+// invariants of the instrumented pipeline — every admitted query yields
+// exactly one root span with a terminal status, failover/degradation
+// produce nested stage spans, and a client cancelling from inside its
+// own delivery callback closes the span tree exactly once.
+//
+// The whole suite runs twice in CI: once with hooks live and once with
+// CONTORY_OBS_MODE=off in the environment (runtime disable). Scenario
+// tests branch on the active mode, so the "off" run asserts the
+// zero-footprint contract instead of skipping.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/contory.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/clock.hpp"
+#include "obs/observability.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+query::CxtQuery Q(sim::Simulation& sim, const std::string& text) {
+  auto q = query::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  q->id = sim.ids().NextId("q");
+  return *std::move(q);
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(ObsMetricsTest, EncodeKeySortsLabels) {
+  EXPECT_EQ(obs::MetricsRegistry::EncodeKey("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(obs::MetricsRegistry::EncodeKey("m", {}), "m");
+}
+
+TEST(ObsMetricsTest, LabelOrderDoesNotSplitMetrics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a =
+      registry.GetCounter("m", {{"a", "1"}, {"b", "2"}});
+  obs::Counter& b =
+      registry.GetCounter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ObsMetricsTest, KindMismatchThrows) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("x");
+  EXPECT_THROW(registry.GetGauge("x"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("x"), std::logic_error);
+}
+
+TEST(ObsMetricsTest, HandlesSurviveReset) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.GetCounter("c");
+  obs::Gauge& g = registry.GetGauge("g");
+  c.Inc(5);
+  g.Set(3.0);
+  registry.Reset();
+  // Values are zeroed but the handles (and lookups) stay valid.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  c.Inc();
+  EXPECT_EQ(&registry.GetCounter("c"), &c);
+  ASSERT_NE(registry.FindCounter("c"), nullptr);
+  EXPECT_EQ(registry.FindCounter("c")->value(), 1u);
+}
+
+TEST(ObsMetricsTest, HistogramPercentilesAndCell) {
+  obs::Histogram h{{1.0, 10.0, 100.0}};
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.stats().mean(), 138.875);
+  // Percentiles interpolate within the bucket; the overflow bucket
+  // reports the true observed maximum.
+  EXPECT_LE(h.Percentile(50.0), 10.0);
+  EXPECT_GT(h.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 500.0);
+  // The paper's "Avg [90% CI]" cell.
+  EXPECT_NE(h.ToCell().find("138.875 ["), std::string::npos);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsMetricsTest, ExportersRenderAllKinds) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("requests_total", {{"mechanism", "intSensor"}}).Inc(3);
+  registry.GetGauge("live").Set(2.0);
+  registry.GetHistogram("lat_ms", {}, {1.0, 10.0}).Observe(4.0);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("requests_total{mechanism=\"intSensor\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE live gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(prom.find("lat_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_ms_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("lat_ms_sum 4"), std::string::npos);
+}
+
+// --- QueryTracer ------------------------------------------------------------
+
+TEST(ObsTracerTest, RootAndStageLifecycle) {
+  obs::QueryTracer tracer;
+  const auto root = tracer.BeginQuery("q-1", kSimEpoch);
+  ASSERT_NE(root, 0u);
+  const auto stage =
+      tracer.BeginStage(root, "provision", "intSensor", kSimEpoch + 1s);
+  ASSERT_NE(stage, 0u);
+  EXPECT_EQ(tracer.open_count(), 2u);
+  EXPECT_EQ(tracer.spans_started(), 2u);
+
+  tracer.AddItems(root, 2);
+  tracer.AddItems(stage);
+  tracer.AddNote(stage, "switch imminent");
+
+  const obs::Span* s = tracer.EndStage(stage, kSimEpoch + 5s, "ok");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->parent, root);
+  EXPECT_EQ(s->query_id, "q-1");
+  EXPECT_EQ(s->name, "provision");
+  EXPECT_EQ(s->mechanism, "intSensor");
+  EXPECT_EQ(s->status, "ok");
+  EXPECT_EQ(s->duration(), 4s);
+  EXPECT_EQ(s->items, 1u);
+  ASSERT_EQ(s->notes.size(), 1u);
+  EXPECT_EQ(s->notes[0], "switch imminent");
+  EXPECT_FALSE(s->open);
+
+  const obs::Span* r = tracer.EndQuery(root, kSimEpoch + 9s, "DONE");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->parent, 0u);
+  EXPECT_EQ(r->items, 2u);
+  EXPECT_EQ(tracer.open_count(), 0u);
+
+  const auto all = tracer.FinishedFor("q-1");
+  ASSERT_EQ(all.size(), 2u);  // completion order: stage first, then root
+  EXPECT_EQ(all[0].name, "provision");
+  EXPECT_EQ(all[1].name, "query");
+}
+
+TEST(ObsTracerTest, UnknownRootYieldsNoopHandle) {
+  obs::QueryTracer tracer;
+  EXPECT_EQ(tracer.BeginStage(42, "provision", "extInfra", kSimEpoch), 0u);
+  EXPECT_EQ(tracer.EndStage(0, kSimEpoch, "ok"), nullptr);
+  tracer.AddItems(0);
+  tracer.AddNote(0, "nope");
+  EXPECT_EQ(tracer.spans_started(), 0u);
+  EXPECT_EQ(tracer.double_closes(), 0u);
+}
+
+TEST(ObsTracerTest, DoubleCloseIsCounted) {
+  obs::QueryTracer tracer;
+  const auto root = tracer.BeginQuery("q-1", kSimEpoch);
+  ASSERT_NE(tracer.EndQuery(root, kSimEpoch + 1s, "DONE"), nullptr);
+  // A second close of a once-valid handle is an instrumentation bug and
+  // is counted; a handle that was never issued is ignored.
+  EXPECT_EQ(tracer.EndQuery(root, kSimEpoch + 2s, "DONE"), nullptr);
+  EXPECT_EQ(tracer.double_closes(), 1u);
+  EXPECT_EQ(tracer.EndStage(999, kSimEpoch + 2s, "ok"), nullptr);
+  EXPECT_EQ(tracer.double_closes(), 1u);
+}
+
+TEST(ObsTracerTest, EnergyProbeSampledAtBoundaries) {
+  double energy = 1.5;
+  obs::QueryTracer tracer;
+  const auto root =
+      tracer.BeginQuery("q-1", kSimEpoch, [&] { return energy; });
+  const auto stage =
+      tracer.BeginStage(root, "provision", "intSensor", kSimEpoch + 1s);
+
+  energy = 3.0;
+  const obs::Span* s = tracer.EndStage(stage, kSimEpoch + 2s, "ok");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->energy_start_j, 1.5);
+  EXPECT_DOUBLE_EQ(s->energy_end_j, 3.0);
+  EXPECT_DOUBLE_EQ(s->energy_joules(), 1.5);
+
+  energy = 5.0;
+  const obs::Span* r = tracer.EndQuery(root, kSimEpoch + 3s, "DONE");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->energy_start_j, 1.5);
+  EXPECT_DOUBLE_EQ(r->energy_joules(), 3.5);
+}
+
+TEST(ObsTracerTest, CapacityBoundsFinishedSpans) {
+  obs::QueryTracer tracer;
+  tracer.SetCapacity(2);
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "q-" + std::to_string(i);
+    tracer.EndQuery(tracer.BeginQuery(id, kSimEpoch), kSimEpoch + 1s, "DONE");
+  }
+  EXPECT_EQ(tracer.finished().size(), 2u);
+  EXPECT_EQ(tracer.spans_dropped(), 1u);
+  EXPECT_EQ(tracer.finished().front().query_id, "q-1");  // oldest dropped
+
+  // Capacity 0 still keeps the most recent span so the pointer returned
+  // by the closing call stays valid.
+  tracer.SetCapacity(0);
+  const obs::Span* last = tracer.EndQuery(
+      tracer.BeginQuery("q-last", kSimEpoch), kSimEpoch + 1s, "DONE");
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->query_id, "q-last");
+  EXPECT_EQ(tracer.finished().size(), 1u);
+}
+
+TEST(ObsTracerTest, NoteOpenRootsAnnotatesOnlyRoots) {
+  obs::QueryTracer tracer;
+  const auto root_a = tracer.BeginQuery("q-a", kSimEpoch);
+  const auto root_b = tracer.BeginQuery("q-b", kSimEpoch);
+  const auto stage =
+      tracer.BeginStage(root_a, "provision", "intSensor", kSimEpoch);
+  tracer.NoteOpenRoots("fault:bt.fail:phone:on");
+
+  const obs::Span* sa = tracer.FindOpen(root_a);
+  const obs::Span* sb = tracer.FindOpen(root_b);
+  const obs::Span* ss = tracer.FindOpen(stage);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  ASSERT_NE(ss, nullptr);
+  ASSERT_EQ(sa->notes.size(), 1u);
+  EXPECT_EQ(sa->notes[0], "fault:bt.fail:phone:on");
+  EXPECT_EQ(sb->notes.size(), 1u);
+  EXPECT_TRUE(ss->notes.empty());
+}
+
+// --- obs::Clock -------------------------------------------------------------
+
+TEST(ObsClockTest, TokenGuardedInstallation) {
+  ASSERT_FALSE(obs::Clock::installed());
+  EXPECT_EQ(obs::Clock::Now(), kSimEpoch);  // fallback with no source
+
+  const auto t1 = obs::Clock::Install([] { return kSimEpoch + 5s; });
+  const auto t2 = obs::Clock::Install([] { return kSimEpoch + 9s; });
+  EXPECT_EQ(obs::Clock::Now(), kSimEpoch + 9s);
+
+  // A stale token cannot strand the newer installation.
+  obs::Clock::Uninstall(t1);
+  EXPECT_TRUE(obs::Clock::installed());
+  EXPECT_EQ(obs::Clock::Now(), kSimEpoch + 9s);
+
+  obs::Clock::Uninstall(t2);
+  EXPECT_FALSE(obs::Clock::installed());
+  EXPECT_EQ(obs::Clock::Now(), kSimEpoch);
+}
+
+TEST(ObsClockTest, WorldInstallsItsSimulation) {
+  ASSERT_FALSE(obs::Clock::installed());
+  {
+    testbed::World world{7};
+    world.RunFor(42s);
+    // One installation point: the tracer, op-latency metrics and log
+    // prefix all read the same simulated clock.
+    EXPECT_TRUE(obs::Clock::installed());
+    EXPECT_EQ(obs::Clock::Now(), world.Now());
+    EXPECT_EQ(obs::Clock::Now(), kSimEpoch + 42s);
+  }
+  EXPECT_FALSE(obs::Clock::installed());
+}
+
+// --- Instrumented-pipeline scenarios ----------------------------------------
+
+/// Runs every scenario in the mode CI selected: hooks live (default) or
+/// runtime-disabled (CONTORY_OBS_MODE=off). A CONTORY_OBS=OFF compile
+/// behaves like the disabled mode.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Observability::ResetForTest();
+    const char* mode = std::getenv("CONTORY_OBS_MODE");
+    if (mode != nullptr && std::string(mode) == "off") {
+      obs::Observability::Enable(false);
+    }
+  }
+  void TearDown() override { obs::Observability::ResetForTest(); }
+
+  /// True when instrumentation is active for this run (compiled in and
+  /// runtime-enabled); scenario tests assert the zero-footprint contract
+  /// otherwise.
+  static bool HooksLive() { return COBS_ON(); }
+
+  static obs::MetricsRegistry& metrics() {
+    return obs::Observability::metrics();
+  }
+  static obs::QueryTracer& tracer() { return obs::Observability::tracer(); }
+
+  static std::uint64_t CounterValue(const std::string& name,
+                                    const obs::Labels& labels = {}) {
+    const obs::Counter* c = metrics().FindCounter(name, labels);
+    return c == nullptr ? 0 : c->value();
+  }
+  static double GaugeValue(const std::string& name) {
+    const obs::Gauge* g = metrics().FindGauge(name);
+    return g == nullptr ? 0.0 : g->value();
+  }
+};
+
+TEST_F(ObsTest, PeriodicQueryYieldsOneRootSpanWithTerminalStatus) {
+  testbed::World world{91};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+
+  core::CollectingClient client;
+  auto q = Q(world.sim(),
+             "SELECT temperature FROM intSensor DURATION 30 sec EVERY 5 sec");
+  const std::string id = q.id;
+  ASSERT_TRUE(device.contory().ProcessCxtQuery(std::move(q), client).ok());
+  world.RunFor(40s);
+
+  ASSERT_FALSE(client.items.empty());
+  EXPECT_EQ(device.contory().queries().active_count(), 0u);
+
+  if (!HooksLive()) {
+    EXPECT_EQ(tracer().spans_started(), 0u);
+    EXPECT_EQ(metrics().FindCounter("queries_admitted_total"), nullptr);
+    return;
+  }
+
+  EXPECT_EQ(tracer().open_count(), 0u);
+  EXPECT_EQ(tracer().double_closes(), 0u);
+
+  const auto spans = tracer().FinishedFor(id);
+  std::size_t roots = 0;
+  const obs::Span* root = nullptr;
+  const obs::Span* provision = nullptr;
+  for (const obs::Span& s : spans) {
+    if (s.name == "query") {
+      ++roots;
+      root = &s;
+    }
+    if (s.name == "provision") provision = &s;
+  }
+  EXPECT_EQ(roots, 1u);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->status, "ACTIVE");  // finished from ACTIVE at expiry
+  EXPECT_EQ(root->items, client.items.size());
+  EXPECT_GE(root->duration(), 30s);
+  // The energy probe attributed the device's consumption to the query.
+  EXPECT_GT(root->energy_joules(), 0.0);
+  ASSERT_NE(provision, nullptr);
+  EXPECT_EQ(provision->mechanism, "intSensor");
+  // The facade reported a clean duration expiry before the table's
+  // terminal close cascade ran, so the stage closed with its own status.
+  EXPECT_EQ(provision->status, "ok");
+  EXPECT_EQ(provision->items, client.items.size());
+
+  EXPECT_EQ(CounterValue("queries_admitted_total"), 1u);
+  EXPECT_DOUBLE_EQ(GaugeValue("queries_live"), 0.0);
+  EXPECT_EQ(CounterValue("items_delivered_total",
+                         {{"mechanism", "intSensor"}}),
+            client.items.size());
+  EXPECT_EQ(CounterValue("queries_completed_total", {{"state", "ACTIVE"}}),
+            1u);
+  EXPECT_EQ(CounterValue("providers_created_total",
+                         {{"mechanism", "intSensor"}}),
+            1u);
+  const obs::Histogram* first = metrics().FindHistogram(
+      "first_delivery_latency_ms", {{"mechanism", "intSensor"}});
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->count(), 1u);
+}
+
+TEST_F(ObsTest, RuntimeDisableSuppressesEveryHook) {
+  obs::Observability::Enable(false);
+  {
+    testbed::World world{42};
+    testbed::DeviceOptions opts;
+    opts.with_bt = false;
+    opts.with_cellular = false;
+    opts.internal_sensors = {vocab::kTemperature};
+    auto& device = world.AddDevice(opts);
+
+    core::CollectingClient client;
+    ASSERT_TRUE(
+        device.contory()
+            .ProcessCxtQuery(
+                Q(world.sim(),
+                  "SELECT temperature FROM intSensor DURATION 1 min"),
+                client)
+            .ok());
+    world.RunFor(30s);
+    // The pipeline itself is unaffected by the disabled instrumentation.
+    EXPECT_EQ(client.items.size(), 1u);
+    EXPECT_EQ(device.contory().queries().active_count(), 0u);
+  }
+  EXPECT_EQ(tracer().spans_started(), 0u);
+  const obs::Counter* admitted =
+      metrics().FindCounter("queries_admitted_total");
+  if (admitted != nullptr) {
+    EXPECT_EQ(admitted->value(), 0u);
+  }
+}
+
+/// Cancels its own query from inside the delivery callback — the
+/// reentrancy trap: CancelCxtQuery erases the QueryRecord while an
+/// OnFacadeDelivery frame still holds a reference to it.
+class CancelingClient : public core::Client {
+ public:
+  void ReceiveCxtItem(const CxtItem& item) override {
+    items.push_back(item);
+    if (items.size() == 1 && factory != nullptr) {
+      factory->CancelCxtQuery(query_id);
+    }
+  }
+  void InformError(const std::string& msg) override {
+    errors.push_back(msg);
+  }
+  bool MakeDecision(const std::string&) override { return true; }
+
+  core::ContextFactory* factory = nullptr;
+  std::string query_id;
+  std::vector<CxtItem> items;
+  std::vector<std::string> errors;
+};
+
+TEST_F(ObsTest, ReentrantCancelClosesSpansExactlyOnce) {
+  testbed::World world{92};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+
+  CancelingClient client;
+  auto q = Q(world.sim(),
+             "SELECT temperature FROM intSensor DURATION 5 min EVERY 5 sec");
+  client.factory = &device.contory();
+  client.query_id = q.id;
+  const std::string id = q.id;
+  ASSERT_TRUE(device.contory().ProcessCxtQuery(std::move(q), client).ok());
+  world.RunFor(60s);
+
+  // The cancel took effect at the first delivery and the lifecycle
+  // terminated exactly once.
+  EXPECT_EQ(client.items.size(), 1u);
+  const core::QueryTable& table = device.contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  int done = 0;
+  for (const auto& completion : table.completions()) {
+    if (completion.id == id) ++done;
+  }
+  EXPECT_EQ(done, 1);
+
+  if (!HooksLive()) {
+    EXPECT_EQ(tracer().spans_started(), 0u);
+    return;
+  }
+
+  EXPECT_EQ(tracer().open_count(), 0u);
+  EXPECT_EQ(tracer().double_closes(), 0u);
+  EXPECT_EQ(CounterValue("queries_cancelled_total"), 1u);
+  EXPECT_DOUBLE_EQ(GaugeValue("queries_live"), 0.0);
+
+  std::size_t roots = 0;
+  bool cancelled_note = false;
+  for (const obs::Span& s : tracer().FinishedFor(id)) {
+    if (s.name != "query") continue;
+    ++roots;
+    for (const std::string& note : s.notes) {
+      if (note == "cancelled") cancelled_note = true;
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_TRUE(cancelled_note);
+}
+
+TEST_F(ObsTest, RefusedTransitionSurfacesInRegistry) {
+  testbed::World world{93};
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  auto& device = world.AddDevice(opts);
+
+  core::CollectingClient client;
+  auto q = Q(world.sim(),
+             "SELECT temperature FROM intSensor DURATION 5 min EVERY 5 sec");
+  const std::string id = q.id;
+  ASSERT_TRUE(device.contory().ProcessCxtQuery(std::move(q), client).ok());
+  world.RunFor(1s);
+
+  core::QueryRecord* record = device.contory().queries().Find(id);
+  ASSERT_NE(record, nullptr);
+  ASSERT_EQ(record->state, core::QueryState::kActive);
+  // ACTIVE -> ADMITTED is not an edge of the lifecycle state machine.
+  EXPECT_FALSE(device.contory().queries().Transition(
+      *record, core::QueryState::kAdmitted));
+  EXPECT_EQ(record->state, core::QueryState::kActive);  // unchanged
+  EXPECT_EQ(device.contory().queries().invalid_transitions(), 1u);
+
+  if (HooksLive()) {
+    EXPECT_EQ(CounterValue("query_invalid_transitions_total"), 1u);
+  } else {
+    EXPECT_EQ(metrics().FindCounter("query_invalid_transitions_total"),
+              nullptr);
+  }
+  device.contory().CancelCxtQuery(id);
+}
+
+TEST_F(ObsTest, DegradedLifecycleProducesNestedStageSpans) {
+  // The DegradedModeTest acceptance scenario, re-examined through the
+  // tracer: healthy GPS provisioning, total mechanism loss, stale-served
+  // degraded window, recovery once the radios return.
+  testbed::World world{321};
+  testbed::DeviceOptions opts;
+  opts.name = "phone-A";
+  core::ContextFactoryConfig cfg;
+  cfg.recovery_probe_period = 15s;
+  opts.factory_config = cfg;
+  auto& device = world.AddDevice(opts);
+  world.AddGps("gps-1", {3, 0});
+
+  core::CollectingClient client;
+  auto q = Q(world.sim(), "SELECT location DURATION 20 min EVERY 5 sec");
+  const std::string id = q.id;
+  ASSERT_TRUE(device.contory().ProcessCxtQuery(std::move(q), client).ok());
+  world.RunFor(60s);
+  ASSERT_FALSE(client.items.empty());
+
+  ASSERT_TRUE(world.injector()
+                  .ExecuteText(
+                      "at=60s gps.off gps-1 for=180s\n"
+                      "at=80s bt.fail phone-A for=160s\n")
+                  .ok());
+  world.RunFor(90s);  // t=150s: mid-outage, degraded
+
+  ASSERT_TRUE(device.contory().IsDegraded(id));
+  if (HooksLive()) {
+    EXPECT_DOUBLE_EQ(GaugeValue("queries_degraded"), 1.0);
+    // The 60-80 s window (GPS off, BT still up) lets the recovery probe
+    // flap once onto the GPS-less BT stack, so degrade can count twice.
+    EXPECT_GE(CounterValue("queries_degraded_total"), 1u);
+    EXPECT_GE(CounterValue("provider_failures_total",
+                           {{"mechanism", "intSensor"}}),
+              1u);
+    // The open root recorded the fault windows it lived through.
+    const core::QueryRecord* record = device.contory().queries().Find(id);
+    ASSERT_NE(record, nullptr);
+    const obs::Span* root = tracer().FindOpen(record->obs.root);
+    ASSERT_NE(root, nullptr);
+    bool saw_gps_fault = false;
+    for (const std::string& note : root->notes) {
+      if (note == "fault:gps.off:gps-1:on") saw_gps_fault = true;
+    }
+    EXPECT_TRUE(saw_gps_fault);
+  }
+
+  world.RunFor(160s);  // t=310s: recovered
+  ASSERT_FALSE(device.contory().IsDegraded(id));
+
+  if (!HooksLive()) {
+    EXPECT_EQ(tracer().spans_started(), 0u);
+    return;
+  }
+
+  EXPECT_DOUBLE_EQ(GaugeValue("queries_degraded"), 0.0);
+  EXPECT_GE(CounterValue("degraded_recoveries_total"), 1u);
+  EXPECT_EQ(CounterValue("degraded_recoveries_total"),
+            CounterValue("queries_degraded_total"));  // every degrade ended
+  EXPECT_GE(CounterValue("degraded_deliveries_total"), 1u);
+
+  // The stage spans closed along the way tell the whole story: the
+  // intSensor window that died, the failover that found nothing and
+  // degraded, and the degraded window that ended in recovery.
+  bool provision_failed = false;
+  bool failover_degraded = false;
+  bool degraded_recovered = false;
+  for (const obs::Span& s : tracer().FinishedFor(id)) {
+    if (s.name == "provision" && s.mechanism == "intSensor" &&
+        s.status.rfind("failed", 0) == 0) {
+      provision_failed = true;
+    }
+    if (s.name == "failover" && s.status == "degraded") {
+      failover_degraded = true;
+    }
+    if (s.name == "degraded" && s.status.rfind("recovered:", 0) == 0) {
+      EXPECT_GT(s.items, 0u);  // the stale deliveries landed on this span
+      degraded_recovered = true;
+    }
+  }
+  EXPECT_TRUE(provision_failed);
+  EXPECT_TRUE(failover_degraded);
+  EXPECT_TRUE(degraded_recovered);
+
+  device.contory().CancelCxtQuery(id);
+  EXPECT_EQ(tracer().open_count(), 0u);
+  EXPECT_EQ(tracer().double_closes(), 0u);
+  std::size_t roots = 0;
+  for (const obs::Span& s : tracer().FinishedFor(id)) {
+    if (s.name == "query") ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST_F(ObsTest, ChaosFaultWindowsLandInMetrics) {
+  // The WifiRouteChaosTest topology: three WiFi-only communicators in a
+  // line, remote temperature published on the far one. A warm-up phase
+  // fills the querier's repository; then the publisher's radio drops
+  // every frame for a while, and finally the querier's own radio fails
+  // outright, forcing the subscription into degraded mode.
+  testbed::World world{205};
+  std::vector<testbed::Device*> devices;
+  for (int i = 0; i < 3; ++i) {
+    testbed::DeviceOptions opts;
+    opts.name = "comm-" + std::to_string(i);
+    opts.profile = phone::Nokia9500();
+    opts.position = {i * 80.0, 0};
+    opts.with_bt = false;
+    opts.with_wifi = true;
+    opts.with_cellular = false;
+    devices.push_back(&world.AddDevice(opts));
+  }
+  core::CollectingClient pub_client;
+  ASSERT_TRUE(devices[2]->contory().RegisterCxtServer(pub_client).ok());
+  CxtItem item;
+  item.id = "remote-1";
+  item.type = vocab::kTemperature;
+  item.value = 19.5;
+  item.timestamp = world.Now();
+  item.metadata.accuracy = 0.2;
+  ASSERT_TRUE(devices[2]->contory().PublishCxtItem(item, true).ok());
+
+  core::CollectingClient app;
+  auto q = Q(world.sim(),
+             "SELECT temperature FROM adHocNetwork(1,2) "
+             "DURATION 3 min EVERY 15 sec");
+  const std::string id = q.id;
+  ASSERT_TRUE(devices[0]->contory().ProcessCxtQuery(std::move(q), app).ok());
+  world.RunFor(25s);
+  ASSERT_FALSE(app.items.empty());  // repository warm before the chaos
+
+  ASSERT_TRUE(world.injector()
+                  .ExecuteText(
+                      "at=30s wifi.loss comm-2 rate=1.0 for=20s\n"
+                      "at=60s wifi.fail comm-0 for=10min\n")
+                  .ok());
+  world.RunFor(175s);  // t=200s: past the 3 min duration
+
+  const core::QueryTable& table = devices[0]->contory().queries();
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_GT(devices[0]->contory().degraded_deliveries(), 0u);
+
+  if (!HooksLive()) {
+    EXPECT_EQ(tracer().spans_started(), 0u);
+    EXPECT_EQ(metrics().FindCounter("faults_injected_total",
+                                    {{"kind", "wifi.fail"},
+                                     {"phase", "enter"}}),
+              nullptr);
+    return;
+  }
+
+  // Fault windows are visible end to end: injected faults, frames the
+  // loss window ate, the provider failure they caused, and the degraded
+  // window the query died in.
+  EXPECT_EQ(CounterValue("faults_injected_total",
+                         {{"kind", "wifi.loss"}, {"phase", "enter"}}),
+            1u);
+  EXPECT_EQ(CounterValue("faults_injected_total",
+                         {{"kind", "wifi.fail"}, {"phase", "enter"}}),
+            1u);
+  EXPECT_GE(CounterValue("radio_frames_lost_total", {{"radio", "wifi"}}),
+            1u);
+  EXPECT_GE(CounterValue("radio_tx_frames_total", {{"radio", "wifi"}}), 1u);
+  EXPECT_GE(CounterValue("provider_failures_total",
+                         {{"mechanism", "adHocNetwork"}}),
+            1u);
+  EXPECT_EQ(CounterValue("queries_degraded_total"), 1u);
+  EXPECT_GE(CounterValue("degraded_deliveries_total"), 1u);
+  EXPECT_EQ(CounterValue("queries_completed_total", {{"state", "DEGRADED"}}),
+            1u);
+  EXPECT_DOUBLE_EQ(GaugeValue("queries_degraded"), 0.0);
+  EXPECT_DOUBLE_EQ(GaugeValue("queries_live"), 0.0);
+  EXPECT_GE(CounterValue("items_delivered_total",
+                         {{"mechanism", "adHocNetwork"}}),
+            app.items.size() > 0 ? 1u : 0u);
+
+  // publishCxtItem on the ad hoc transport was timed via obs::Clock.
+  const obs::Histogram* publish = metrics().FindHistogram(
+      "op_latency_ms", {{"op", "publishCxtItem"},
+                        {"mechanism", "adHocNetwork"},
+                        {"transport", "wifi"}});
+  ASSERT_NE(publish, nullptr);
+  EXPECT_GE(publish->count(), 1u);
+
+  EXPECT_EQ(tracer().open_count(), 0u);
+  EXPECT_EQ(tracer().double_closes(), 0u);
+  std::size_t roots = 0;
+  bool degraded_window = false;
+  for (const obs::Span& s : tracer().FinishedFor(id)) {
+    if (s.name == "query") {
+      ++roots;
+      EXPECT_EQ(s.status, "DEGRADED");
+    }
+    if (s.name == "degraded") degraded_window = true;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_TRUE(degraded_window);
+}
+
+}  // namespace
+}  // namespace contory
