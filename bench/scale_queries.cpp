@@ -1,26 +1,33 @@
 // Query-table scaling bench: submit/cancel latency vs. active query count.
 //
-// The ROADMAP's production-scale target means thousands of concurrent
-// queries per ContextFactory. This bench grows one factory to 10k live
-// queries (each with a distinct SELECT type, so no two merge and every
-// query owns a facade cluster) and measures the wall-clock latency of
-// ProcessCxtQuery and CancelCxtQuery at increasing populations. With a
-// linear cluster scan both degrade with the active count; with the
-// (cxt_type, source, mode)-keyed cluster index they stay flat. Emits the
-// sweep as JSON like the other benches.
+// The ROADMAP's production-scale target means millions of concurrent
+// queries per ContextFactory. This bench grows one factory through
+// 10k -> 100k -> 1M live queries (each with a distinct SELECT type, so no
+// two merge and every query owns a facade cluster) and measures the
+// wall-clock latency of ProcessCxtQuery and CancelCxtQuery at each
+// population milestone; with the sharded id-keyed table and the indexed
+// facades both stay flat. A second sweep measures ProcessCxtQueryBatch
+// throughput across worker counts (--workers), exercising the
+// admission/planning fan-out through the lock-free ring. --out=FILE
+// writes the whole trajectory as one JSON object (see BENCH_scale.json
+// at the repo root; `cores` records the machine the numbers came from).
+//
+// --smoke shrinks both sweeps to a seconds-scale sanity pass wired into
+// ctest, so the binary cannot silently rot.
 //
 // --obs=on|off|both selects whether the observability hooks (root span,
 // admission counters, delivery metrics) are live during the sweep; the
 // submit path is the hot path they instrument, so this is the overhead
-// harness for docs/OBSERVABILITY.md. "both" runs the sweep twice and
+// harness for docs/OBSERVABILITY.md. "both" runs the 10k sweep twice and
 // reports the relative submit-latency overhead at the 10k milestone
-// (budget: <= 5%). --out=FILE additionally writes the comparison as one
-// JSON object (see BENCH_obs.json at the repo root).
+// (budget: <= 5%). --out=FILE then writes the comparison instead (see
+// BENCH_obs.json at the repo root).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -70,26 +77,38 @@ query::CxtQuery MakeQuery(sim::Simulation& sim, std::size_t n) {
   return q;
 }
 
+testbed::DeviceOptions ScaleDeviceOptions(std::size_t shards) {
+  testbed::DeviceOptions opts;
+  opts.name = "phone-scale";
+  opts.with_cellular = false;  // adHoc facade only: isolates cluster lookup
+  opts.factory_config.table_shards = shards;
+  return opts;
+}
+
+struct Milestone {
+  std::size_t active = 0;
+  OpStats submit;
+  OpStats cancel;
+};
+
 struct SweepResult {
   std::vector<bench::JsonObject> json;
+  std::vector<Milestone> milestones;
   /// Submit p50 at the largest milestone — the overhead comparison point
   /// (the median is robust against scheduler outliers; the mean swings
   /// tens of percent between identical runs).
   double submit_p50_final_us = 0.0;
 };
 
-SweepResult RunSweep(bool obs_on) {
+SweepResult RunSweep(bool obs_on, const std::vector<std::size_t>& milestones,
+                     std::size_t shards) {
   obs::Observability::ResetForTest();
   obs::Observability::Enable(obs_on);
 
   testbed::World world{4242};
-  testbed::DeviceOptions opts;
-  opts.name = "phone-scale";
-  opts.with_cellular = false;  // adHoc facade only: isolates cluster lookup
-  auto& device = world.AddDevice(opts);
+  auto& device = world.AddDevice(ScaleDeviceOptions(shards));
   core::CollectingClient client;
 
-  const std::vector<std::size_t> milestones{1'000, 2'500, 5'000, 10'000};
   constexpr std::size_t kTimedWindow = 2'000;  // ops timed at each milestone
   constexpr std::size_t kCancelSample = 250;
 
@@ -136,8 +155,9 @@ SweepResult RunSweep(bool obs_on) {
     const OpStats sub = Summarize(std::move(submit_us));
     const OpStats can = Summarize(std::move(cancel_us));
     result.submit_p50_final_us = sub.p50_us;
+    result.milestones.push_back({target, sub, can});
     char label[48];
-    std::snprintf(label, sizeof label, "%5zu active", target);
+    std::snprintf(label, sizeof label, "%7zu active", target);
     char measured[96];
     std::snprintf(measured, sizeof measured,
                   "submit %.1f us (p50 %.1f), cancel %.1f us (p50 %.1f)",
@@ -164,28 +184,220 @@ SweepResult RunSweep(bool obs_on) {
   return result;
 }
 
+struct WorkerPoint {
+  std::size_t workers = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+};
+
+/// Batch-submit throughput per worker count, each against a fresh world
+/// (same seed, same queries) so populations don't accumulate between
+/// configurations.
+std::vector<WorkerPoint> RunWorkerSweep(
+    const std::vector<std::size_t>& worker_counts, std::size_t batch_size,
+    std::size_t shards) {
+  std::vector<WorkerPoint> points;
+  std::vector<bench::Row> rows;
+  for (const std::size_t workers : worker_counts) {
+    obs::Observability::ResetForTest();
+    obs::Observability::Enable(true);
+    testbed::World world{9000 + workers};
+    auto& device = world.AddDevice(ScaleDeviceOptions(shards));
+    core::CollectingClient client;
+
+    std::vector<query::CxtQuery> batch;
+    batch.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(MakeQuery(world.sim(), i));
+    }
+    const auto start = Clock::now();
+    const auto results = device.contory().ProcessCxtQueryBatch(
+        std::move(batch), client,
+        core::ContextFactory::BatchOptions{workers});
+    const double wall_ms = MicrosSince(start) / 1'000.0;
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "batch submit failed (workers=%zu): %s\n",
+                     workers, r.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    const double qps =
+        static_cast<double>(batch_size) / (wall_ms / 1'000.0);
+    points.push_back({workers, wall_ms, qps});
+    char label[48];
+    std::snprintf(label, sizeof label, "workers=%zu", workers);
+    char measured[96];
+    std::snprintf(measured, sizeof measured, "%.1f ms for %zu = %.0f q/s",
+                  wall_ms, batch_size, qps);
+    rows.push_back({label, measured, "n/a (extension)", ""});
+  }
+  bench::PrintTable("Batch-submit throughput vs. worker count",
+                    "throughput", rows);
+  return points;
+}
+
+int RunScaleMode(bool smoke, std::size_t max_active, std::size_t shards,
+                 const std::vector<std::size_t>& worker_counts,
+                 const std::string& out_path) {
+  std::vector<std::size_t> milestones;
+  if (smoke) {
+    milestones = {1'000, 5'000};
+  } else {
+    for (const std::size_t m :
+         {std::size_t{10'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+      if (m <= max_active) milestones.push_back(m);
+    }
+    if (milestones.empty() || milestones.back() != max_active) {
+      milestones.push_back(max_active);
+    }
+  }
+  const std::size_t batch_size = smoke ? 2'000 : 50'000;
+
+  bench::PrintHeading(
+      "Query scaling: submit/cancel latency vs. active query count");
+  std::printf(
+      "One factory grown to %zu concurrent single-cluster queries (%zu\n"
+      "table shards); per-op wall-clock latency sampled at each milestone,\n"
+      "then batch-submit throughput across worker counts.\n\n",
+      milestones.back(), shards);
+
+  const SweepResult sweep = RunSweep(/*obs_on=*/true, milestones, shards);
+  std::printf("\n");
+  const std::vector<WorkerPoint> throughput =
+      RunWorkerSweep(worker_counts, batch_size, shards);
+
+  std::vector<bench::JsonObject> json = sweep.json;
+  const unsigned cores = std::thread::hardware_concurrency();
+  double qps_one_worker = 0.0;
+  for (const WorkerPoint& p : throughput) {
+    if (p.workers == 1) qps_one_worker = p.qps;
+  }
+  for (const WorkerPoint& p : throughput) {
+    bench::JsonObject obj;
+    obj.Set("workers", static_cast<double>(p.workers))
+        .Set("batch_size", static_cast<double>(batch_size))
+        .Set("wall_ms", p.wall_ms)
+        .Set("queries_per_sec", p.qps);
+    if (qps_one_worker > 0.0 && p.workers >= 1) {
+      obj.Set("speedup_vs_1_worker", p.qps / qps_one_worker);
+    }
+    json.push_back(obj);
+  }
+  std::printf("\nJSON:\n%s", bench::ToJsonArray(json).c_str());
+
+  const Milestone& first = sweep.milestones.front();
+  const Milestone& last = sweep.milestones.back();
+  const double growth = first.submit.p50_us > 0.0
+                            ? last.submit.p50_us / first.submit.p50_us
+                            : 0.0;
+  std::printf(
+      "\nSubmit p50: %.2f us at %zu -> %.2f us at %zu (x%.2f); "
+      "%u core(s) available for the worker sweep.\n",
+      first.submit.p50_us, first.active, last.submit.p50_us, last.active,
+      growth, cores);
+
+  if (!out_path.empty()) {
+    bench::JsonObject summary;
+    summary.Set("bench", "scale_queries")
+        .Set("cores", static_cast<double>(cores))
+        .Set("table_shards", static_cast<double>(shards))
+        .Set("max_active_queries", static_cast<double>(last.active))
+        .Set("submit_p50_us_first_milestone", first.submit.p50_us)
+        .Set("submit_p50_us_max", last.submit.p50_us)
+        .Set("submit_p50_growth_ratio", growth)
+        .Set("cancel_p50_us_max", last.cancel.p50_us);
+    for (const WorkerPoint& p : throughput) {
+      char key[48];
+      std::snprintf(key, sizeof key, "qps_workers_%zu", p.workers);
+      summary.Set(key, p.qps);
+    }
+    if (qps_one_worker > 0.0) {
+      for (const WorkerPoint& p : throughput) {
+        if (p.workers > 1) {
+          char key[48];
+          std::snprintf(key, sizeof key, "speedup_%zu_vs_1", p.workers);
+          summary.Set(key, p.qps / qps_one_worker);
+        }
+      }
+    }
+    summary.Set("note",
+                cores <= 1
+                    ? "single-core machine: worker fan-out cannot speed up; "
+                      "speedups reflect ring/coordination overhead only"
+                    : "speedups measured on this core count");
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", summary.ToString().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (smoke) {
+    // Sanity gates only — smoke runs on shared CI machines where absolute
+    // numbers are meaningless, but a zero sample or a failed batch means
+    // the harness itself broke.
+    if (sweep.milestones.empty() || last.submit.p50_us <= 0.0 ||
+        throughput.empty()) {
+      std::fprintf(stderr, "SMOKE FAILED: empty sweep\n");
+      return 1;
+    }
+    std::printf("SMOKE OK\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string obs_mode = "on";
+  std::string obs_mode = "scale";
   std::string out_path;
+  bool smoke = false;
+  std::size_t max_active = 1'000'000;
+  std::size_t shards = 64;
+  std::vector<std::size_t> worker_counts{0, 1, 2, 4};
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--obs=", 6) == 0) {
       obs_mode = arg + 6;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
+    } else if (std::strncmp(arg, "--max=", 6) == 0) {
+      max_active = static_cast<std::size_t>(std::strtoull(arg + 6, nullptr, 10));
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = static_cast<std::size_t>(std::strtoull(arg + 9, nullptr, 10));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      worker_counts.clear();
+      for (const char* p = arg + 10; *p != '\0';) {
+        char* end = nullptr;
+        worker_counts.push_back(
+            static_cast<std::size_t>(std::strtoull(p, &end, 10)));
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
     } else {
       std::fprintf(stderr,
-                   "usage: scale_queries [--obs=on|off|both] [--out=FILE]\n");
+                   "usage: scale_queries [--obs=on|off|both] [--out=FILE]\n"
+                   "                     [--max=N] [--shards=N]\n"
+                   "                     [--workers=a,b,c] [--smoke]\n");
       return 2;
     }
+  }
+  if (obs_mode == "scale") {
+    if (smoke) worker_counts = {0, 2};
+    return RunScaleMode(smoke, max_active, shards, worker_counts, out_path);
   }
   if (obs_mode != "on" && obs_mode != "off" && obs_mode != "both") {
     std::fprintf(stderr, "unknown --obs mode '%s'\n", obs_mode.c_str());
     return 2;
   }
 
+  // Observability-overhead mode: the 10k sweep, with the hooks toggled.
+  const std::vector<std::size_t> obs_milestones{1'000, 2'500, 5'000, 10'000};
   bench::PrintHeading(
       "Query scaling: submit/cancel latency vs. active query count");
   std::printf(
@@ -206,8 +418,8 @@ int main(int argc, char** argv) {
     std::vector<double> on_p50s;
     for (int rep = 0; rep < kReps; ++rep) {
       const bool on_first = (rep % 2) == 1;
-      const SweepResult first = RunSweep(on_first);
-      const SweepResult second = RunSweep(!on_first);
+      const SweepResult first = RunSweep(on_first, obs_milestones, shards);
+      const SweepResult second = RunSweep(!on_first, obs_milestones, shards);
       const SweepResult& off = on_first ? second : first;
       const SweepResult& on = on_first ? first : second;
       off_p50s.push_back(off.submit_p50_final_us);
@@ -223,7 +435,7 @@ int main(int argc, char** argv) {
     on_final_us = on_p50s[kReps / 2];
   } else {
     const bool on = obs_mode == "on";
-    const SweepResult r = RunSweep(on);
+    const SweepResult r = RunSweep(on, obs_milestones, shards);
     (on ? on_final_us : off_final_us) = r.submit_p50_final_us;
     json.insert(json.end(), r.json.begin(), r.json.end());
   }

@@ -1,0 +1,189 @@
+// Bounded lock-free rings for the asynchronous pipeline stages.
+//
+// Two flavors, both fixed-capacity (power of two) with cache-line-padded
+// indices so producer and consumer never false-share:
+//
+//   SpscRing — single producer, single consumer. Wait-free push/pop; one
+//     release store per side plus a cached view of the opposite index
+//     (the cache cuts coherence traffic to one miss per wrap in the
+//     common case, the classic optimization over a naive Lamport queue).
+//
+//   MpmcRing — multi producer, multi consumer, Dmitry Vyukov's bounded
+//     queue: every slot carries a sequence number that encodes whose
+//     turn it is, so producers and consumers claim slots with one
+//     fetch_add + one CAS-free publish each. Lock-free (a stalled thread
+//     can delay only the slot it claimed, never the whole ring).
+//
+// Both are Try* interfaces — full/empty return false instead of blocking;
+// backpressure policy (spin, yield, shed) belongs to the caller. The
+// PipelineExecutor connects admission/planning workers to the facade
+// stage with these, and bench/micro_ops tracks their costs in isolation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace contory {
+
+/// Rounds `n` up to the next power of two (minimum 2).
+[[nodiscard]] constexpr std::size_t RingCapacityFor(std::size_t n) noexcept {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Single-producer / single-consumer bounded ring. `T` must be movable
+/// and default-constructible. Exactly one thread may call TryPush and
+/// exactly one thread may call TryPop (they may be the same thread in
+/// deterministic mode).
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(RingCapacityFor(capacity) - 1),
+        slots_(RingCapacityFor(capacity)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// False when full (capacity items pending).
+  [[nodiscard]] bool TryPush(T value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // genuinely full
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when empty.
+  [[nodiscard]] bool TryPop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (exact when called from the producer or consumer).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  const std::uint64_t mask_;
+  std::vector<T> slots_;
+  /// Consumer index + the producer's cached copy of it.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineBytes) std::uint64_t head_cache_ = 0;  // producer-owned
+  /// Producer index + the consumer's cached copy of it.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineBytes) std::uint64_t tail_cache_ = 0;  // consumer-owned
+};
+
+/// Multi-producer / multi-consumer bounded ring (Vyukov). Any number of
+/// threads may push and pop concurrently.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity)
+      : mask_(RingCapacityFor(capacity) - 1),
+        cells_(std::make_unique<Cell[]>(RingCapacityFor(capacity))) {
+    for (std::uint64_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// False when full.
+  [[nodiscard]] bool TryPush(T value) {
+    Cell* cell;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        // Our turn: claim the slot by advancing the enqueue cursor.
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // slot still holds an unconsumed value: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // lost the race
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when empty.
+  [[nodiscard]] bool TryPop(T& out) {
+    Cell* cell;
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t diff = static_cast<std::int64_t>(seq) -
+                                static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate under concurrency; exact when quiescent.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = enqueue_pos_.load(std::memory_order_acquire);
+    const std::uint64_t head = dequeue_pos_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  const std::uint64_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace contory

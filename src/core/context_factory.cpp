@@ -32,7 +32,9 @@ ContextFactory::ContextFactory(DeviceServices services,
       repository_(*services_.sim, config_.repository),
       policy_(rules_, monitor_, repository_, facades_,
               {.reduce_load_provider_cap = config_.reduce_load_provider_cap}),
-      table_(*services_.sim),
+      table_(*services_.sim,
+             ShardedQueryTableOptions{config_.table_shards,
+                                      config_.completion_log_capacity}),
       planner_(PlannerEnv{&internal_ref_, &bt_ref_, &wifi_ref_, &cell_ref_,
                           &services_.default_infra_address,
                           &policy_.active_actions()}),
@@ -167,22 +169,42 @@ std::set<query::SourceSel> ContextFactory::CurrentMechanisms(
 
 Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
                                                     Client& client) {
-  // Stage 1: admission (validation, access control, policy gates).
-  if (const Status s =
-          admission_.Admit(query, client, policy_.active_actions());
-      !s.ok()) {
-    return s;
+  const AdmitOutcome outcome = AdmitAndPlan(std::move(query), client, {});
+  if (!outcome.status.ok()) {
+    // Planning rejections leave an ADMITTED record behind; retire it.
+    if (outcome.qid != kInvalidQueryId) table_.FinishById(outcome.qid);
+    return outcome.status;
   }
-  const std::string id = query.id;
-  QueryRecord* record = table_.Find(id);
+  return ActivateQuery(outcome.qid);
+}
+
+ContextFactory::AdmitOutcome ContextFactory::AdmitAndPlan(
+    query::CxtQuery&& query, Client& client,
+    const QueryTable::AdmitOptions& admit_options) {
+  // Stage 1: admission (validation, access control, policy gates).
+  Result<QueryId> admitted =
+      admission_.Admit(query, client, policy_.active_actions(),
+                       admit_options);
+  if (!admitted.ok()) return {kInvalidQueryId, admitted.status()};
+  const QueryId qid = *admitted;
+  QueryRecord* record = table_.FindById(qid);
 
   // Stage 2: planning (FROM clause -> facade set + failover order).
   auto plan = planner_.Plan(record->query);
-  if (!plan.ok()) {
-    table_.Finish(id);
-    return plan.status();
-  }
+  if (!plan.ok()) return {qid, plan.status()};
   record->plan = *std::move(plan);
+  return {qid, Status::Ok()};
+}
+
+Result<std::string> ContextFactory::ActivateQuery(QueryId qid) {
+  QueryRecord* record = table_.FindById(qid);
+  if (record == nullptr) {
+    return NotFound("query vanished before activation");
+  }
+  // A worker-admitted record carries an armed-but-unopened root span;
+  // materialize it before any child span or delivery can reference it.
+  COBS(table_.EnsureRootSpan(*record));
+  const std::string id = record->query.id;
 
   // Stage 3: facade assignment.
   Status last;
@@ -196,13 +218,69 @@ Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
     }
   }
   if (assigned == 0) {
-    table_.Finish(id);
+    table_.FinishById(qid);
     return last;
   }
   table_.Transition(*record, QueryState::kActive);
   CLOG_INFO(kModule, "query %s (%s) assigned to %zu facade(s)", id.c_str(),
             record->query.select_type.c_str(), assigned);
   return id;
+}
+
+std::vector<Result<std::string>> ContextFactory::ProcessCxtQueryBatch(
+    std::vector<query::CxtQuery> queries, Client& client,
+    const BatchOptions& options) {
+  const std::size_t n = queries.size();
+  std::vector<Result<std::string>> results;
+  results.reserve(n);
+
+  if (options.workers == 0) {
+    for (auto& q : queries) {
+      results.push_back(ProcessCxtQuery(std::move(q), client));
+    }
+    return results;
+  }
+
+  // Worker mode. Everything the workers touch must be stable for the
+  // whole batch: ids come from the (unsynchronized, simulation-thread)
+  // generator up front, and the admission snapshot — the clock and the
+  // device energy ledger — is taken once, so every query in the batch
+  // shares one submission instant, exactly as if the batch were one
+  // simulation event.
+  for (auto& q : queries) {
+    if (q.id.empty()) q.id = services_.sim->ids().NextId("q");
+  }
+  QueryTable::AdmitOptions admit_options;
+  admit_options.defer_obs = true;
+  admit_options.now = services_.sim->Now();
+  admit_options.energy_now_j = services_.phone->energy().TotalEnergyJoules();
+
+  results.assign(n, Status{StatusCode::kInternal, "batch slot unprocessed"});
+  std::vector<AdmitOutcome> outcomes(n);
+  PipelineExecutor executor(
+      PipelineExecutorOptions{.workers = options.workers});
+  executor.Run(
+      n,
+      [&](std::size_t i) {
+        outcomes[i] = AdmitAndPlan(std::move(queries[i]), client,
+                                   admit_options);
+        // Only indices with a table record need simulation-thread work
+        // (activation, or Finish after a planning rejection).
+        return outcomes[i].qid != kInvalidQueryId;
+      },
+      [&](std::size_t i) {
+        const AdmitOutcome& outcome = outcomes[i];
+        if (!outcome.status.ok()) {
+          table_.FinishById(outcome.qid);
+          results[i] = outcome.status;
+          return;
+        }
+        results[i] = ActivateQuery(outcome.qid);
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outcomes[i].qid == kInvalidQueryId) results[i] = outcomes[i].status;
+  }
+  return results;
 }
 
 Status ContextFactory::AssignToFacade(QueryRecord& record,
@@ -249,6 +327,7 @@ void ContextFactory::CancelCxtQuery(const std::string& query_id) {
   QueryRecord* record = table_.Find(query_id);
   if (record == nullptr) return;
   COBS({
+    table_.EnsureRootSpan(*record);
     obs::Observability::tracer().AddNote(record->obs.root, "cancelled");
     static obs::Counter& cancelled =
         obs::Observability::metrics().GetCounter("queries_cancelled_total");

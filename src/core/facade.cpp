@@ -77,24 +77,31 @@ Status Facade::Submit(query::CxtQuery q) {
   if (const Status s = q.Validate(); !s.ok()) return s;
 
   // Query merging: only clusters under the same (select_type, mode) key
-  // can possibly accept the query; join the first compatible one.
+  // can possibly accept the query; join the first compatible one. A
+  // negative threshold means nothing ever merges, so both the candidate
+  // scan and the index feeding it are skipped outright.
+  const bool merging = policy_.threshold >= 0.0;
   const ClusterKey key = KeyFor(q);
-  const auto bucket_it = merge_index_.find(key);
-  if (bucket_it != merge_index_.end()) {
-    for (Cluster* cluster : bucket_it->second) {
-      if (cluster->dead) continue;
-      auto merged = query::Merge(cluster->merged, q, policy_);
-      if (!merged.ok()) continue;
-      CLOG_DEBUG(kModule, "%s: merged %s into %s",
-                 query::SourceSelName(kind_), q.id.c_str(),
-                 cluster->merged.id.c_str());
-      COBS(MergedCounter(kind_).Inc());
-      cluster->merged = *std::move(merged);
-      by_original_id_[q.id] = cluster;
-      ++live_originals_;
-      cluster->originals.push_back(std::move(q));
-      cluster->provider->UpdateQuery(cluster->merged);
-      return Status::Ok();
+  if (merging) {
+    const auto bucket_it = merge_index_.find(key);
+    if (bucket_it != merge_index_.end()) {
+      std::size_t examined = 0;
+      for (Cluster* cluster : bucket_it->second) {
+        if (cluster->dead) continue;
+        if (++examined > kMaxMergeCandidates) break;
+        auto merged = query::Merge(cluster->merged, q, policy_);
+        if (!merged.ok()) continue;
+        CLOG_DEBUG(kModule, "%s: merged %s into %s",
+                   query::SourceSelName(kind_), q.id.c_str(),
+                   cluster->merged.id.c_str());
+        COBS(MergedCounter(kind_).Inc());
+        cluster->merged = *std::move(merged);
+        by_original_id_[q.id] = cluster;
+        ++live_originals_;
+        cluster->originals.push_back(std::move(q));
+        cluster->provider->UpdateQuery(cluster->merged);
+        return Status::Ok();
+      }
     }
   }
 
@@ -116,7 +123,11 @@ Status Facade::Submit(query::CxtQuery q) {
     ref.indexed = true;
     ++live_clusters_;
     ++live_originals_;
-    merge_index_[key].push_back(&ref);
+    if (merging) {
+      auto& bucket = merge_index_[key];
+      ref.bucket_pos = bucket.size();
+      bucket.push_back(&ref);
+    }
     by_original_id_[id] = &ref;
   }
   return s;
@@ -136,8 +147,18 @@ void Facade::MarkDead(Cluster& cluster) {
   }
   const auto bucket_it = merge_index_.find(cluster.key);
   if (bucket_it != merge_index_.end()) {
-    std::erase(bucket_it->second, &cluster);
-    if (bucket_it->second.empty()) merge_index_.erase(bucket_it);
+    auto& bucket = bucket_it->second;
+    // Swap-remove at the recorded position: O(1) where a scan-and-erase
+    // would make tearing down N same-key clusters quadratic.
+    const std::size_t pos = cluster.bucket_pos;
+    if (pos < bucket.size() && bucket[pos] == &cluster) {
+      bucket[pos] = bucket.back();
+      bucket[pos]->bucket_pos = pos;
+      bucket.pop_back();
+    } else {
+      std::erase(bucket, &cluster);
+    }
+    if (bucket.empty()) merge_index_.erase(bucket_it);
   }
 }
 

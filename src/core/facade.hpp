@@ -15,9 +15,11 @@
 // returns +inf otherwise), so clusters are bucketed by (select_type,
 // mode) — the source is this facade itself — and Submit only runs the
 // full Merge check inside the one bucket that could possibly accept the
-// query. Cancel resolves the owning cluster through a per-original-id
-// map. Both stay O(bucket) instead of O(#clusters) as populations reach
-// the thousands.
+// query, examining at most kMaxMergeCandidates live clusters. Cancel
+// resolves the owning cluster through a per-original-id map, and cluster
+// death swap-removes from the bucket at a recorded position. A negative
+// merge threshold (merging disabled) bypasses the index entirely, so
+// Submit and teardown stay O(1) however many clusters share a key.
 #pragma once
 
 #include <functional>
@@ -93,6 +95,15 @@ class Facade {
   /// key can ever accept the query.
   using ClusterKey = std::pair<std::string, int>;
 
+  struct ClusterKeyHash {
+    [[nodiscard]] std::size_t operator()(const ClusterKey& key) const {
+      const std::size_t h = std::hash<std::string>{}(key.first);
+      // Boost-style combine; the int half is tiny but must still spread.
+      return h ^ (std::hash<int>{}(key.second) + 0x9e3779b97f4a7c15ULL +
+                  (h << 6) + (h >> 2));
+    }
+  };
+
   struct Cluster {
     ClusterKey key;
     query::CxtQuery merged;
@@ -102,7 +113,15 @@ class Facade {
     /// True while the cluster is present in merge_index_/by_original_id_
     /// and counted in the live totals (set after a successful start).
     bool indexed = false;
+    /// Position inside merge_index_[key] while indexed there (swap-remove
+    /// bookkeeping; unused when merging is disabled).
+    std::size_t bucket_pos = 0;
   };
+
+  /// Submit examines at most this many live clusters per bucket: past
+  /// that the distance checks themselves would dominate submission cost,
+  /// so the query gets a fresh provider instead of a deeper search.
+  static constexpr std::size_t kMaxMergeCandidates = 64;
 
   [[nodiscard]] static ClusterKey KeyFor(const query::CxtQuery& q);
 
@@ -123,7 +142,10 @@ class Facade {
   Finished finished_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
   /// Live clusters by merge-compatibility key (Submit's candidate set).
-  std::map<ClusterKey, std::vector<Cluster*>> merge_index_;
+  /// Hashed, not ordered: Submit sits on the hot path and only ever does
+  /// point lookups, so a string compare per tree level is pure waste.
+  std::unordered_map<ClusterKey, std::vector<Cluster*>, ClusterKeyHash>
+      merge_index_;
   /// Live original query id -> owning cluster (Cancel's lookup).
   std::unordered_map<std::string, Cluster*> by_original_id_;
   std::size_t live_clusters_ = 0;

@@ -20,19 +20,24 @@ void CountAdmissionOutcome(const Status& s) {
 
 }  // namespace
 
-Status AdmissionController::Admit(
+Result<QueryId> AdmissionController::Admit(
     query::CxtQuery& query, Client& client,
-    const std::set<RuleAction>& active_actions) {
-  const Status s = DoAdmit(query, client, active_actions);
-  COBS(CountAdmissionOutcome(s));
-  return s;
+    const std::set<RuleAction>& active_actions,
+    const QueryTable::AdmitOptions& table_options) {
+  Result<QueryId> result =
+      DoAdmit(query, client, active_actions, table_options);
+  COBS(CountAdmissionOutcome(result.ok() ? Status::Ok() : result.status()));
+  return result;
 }
 
-Status AdmissionController::DoAdmit(
+Result<QueryId> AdmissionController::DoAdmit(
     query::CxtQuery& query, Client& client,
-    const std::set<RuleAction>& active_actions) {
+    const std::set<RuleAction>& active_actions,
+    const QueryTable::AdmitOptions& table_options) {
   if (const Status s = query.Validate(); !s.ok()) return s;
   if (query.id.empty()) {
+    // Simulation thread only: the id generator is not synchronized.
+    // Worker-mode batches pre-assign ids before fanning out.
     query.id = sim_.ids().NextId("q");
   }
 
@@ -62,7 +67,7 @@ Status AdmissionController::DoAdmit(
         "reducePower policy refuses new extInfra-only queries");
   }
 
-  return table_.Admit(query, client);
+  return table_.Admit(query, client, table_options);
 }
 
 }  // namespace contory::core

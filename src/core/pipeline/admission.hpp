@@ -11,7 +11,7 @@
 #include "common/status.hpp"
 #include "core/access_controller.hpp"
 #include "core/client.hpp"
-#include "core/pipeline/query_table.hpp"
+#include "core/pipeline/sharded_query_table.hpp"
 #include "core/query/query.hpp"
 #include "core/rules.hpp"
 #include "sim/simulation.hpp"
@@ -26,14 +26,20 @@ class AdmissionController {
 
   /// Validates `query`, assigns an id when it has none, applies the
   /// access-control and policy gates, and registers the lifecycle record.
-  /// On error nothing is registered; on success `query.id` names the
-  /// ADMITTED record.
-  Status Admit(query::CxtQuery& query, Client& client,
-               const std::set<RuleAction>& active_actions);
+  /// On error nothing is registered; on success the returned dense id
+  /// (and `query.id`) name the ADMITTED record.
+  ///
+  /// Thread-safe when `table_options.defer_obs` is set AND `query.id` is
+  /// already assigned (the id generator and clock live on the simulation
+  /// thread; the PipelineExecutor pre-assigns ids before fanning out).
+  Result<QueryId> Admit(query::CxtQuery& query, Client& client,
+                        const std::set<RuleAction>& active_actions,
+                        const QueryTable::AdmitOptions& table_options = {});
 
  private:
-  Status DoAdmit(query::CxtQuery& query, Client& client,
-                 const std::set<RuleAction>& active_actions);
+  Result<QueryId> DoAdmit(query::CxtQuery& query, Client& client,
+                          const std::set<RuleAction>& active_actions,
+                          const QueryTable::AdmitOptions& table_options);
 
   sim::Simulation& sim_;
   AccessController& access_;

@@ -94,11 +94,21 @@ void DeliveryRouter::Route(QueryRecord& record, const CxtItem& item) {
   queue.items.push_back(Pending{record.query.id, item});
   if (queue.draining) return;  // the outer drain hands it over in order
   queue.draining = true;
+  // Hand over everything queued in one ReceiveCxtItems call per round:
+  // one virtual dispatch per drain, not per item. Nested deliveries
+  // (a client submitting from inside the callback) land in queue.items
+  // and are picked up by the next round, preserving order; a nested
+  // cancel purges queued items but never the batch already handed over.
+  std::vector<CxtItem> batch;
   while (!queue.items.empty()) {
-    Pending next = std::move(queue.items.front());
-    queue.items.pop_front();
-    ++items_routed_;
-    client->ReceiveCxtItem(next.item);
+    batch.clear();
+    batch.reserve(queue.items.size());
+    for (Pending& pending : queue.items) {
+      batch.push_back(std::move(pending.item));
+    }
+    queue.items.clear();
+    items_routed_ += batch.size();
+    client->ReceiveCxtItems(batch);
   }
   queue.draining = false;
 }

@@ -4,10 +4,13 @@
 // cross-facade dedup, optional fusion windows (EnableFusion), the
 // repository write-through, staleness annotation for degraded answers,
 // and per-client delivery queues. The queues make delivery reentrancy-
-// safe: a client that submits or cancels queries from inside
-// ReceiveCxtItem can trigger nested deliveries, which are appended to
+// safe: a client that submits or cancels queries from inside the
+// delivery callback can trigger nested deliveries, which are appended to
 // its queue and handed over in order by the outermost drain — all within
-// the same simulation event, so timing stays deterministic.
+// the same simulation event, so timing stays deterministic. The drain
+// hands each round over as one ReceiveCxtItems batch (one virtual
+// dispatch per drain, not per item); a nested cancel purges items still
+// queued, never a batch already handed over.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,7 @@
 
 #include "common/status.hpp"
 #include "core/model/cxt_item.hpp"
-#include "core/pipeline/query_table.hpp"
+#include "core/pipeline/sharded_query_table.hpp"
 #include "core/providers/aggregator.hpp"
 #include "core/repository.hpp"
 #include "sim/simulation.hpp"

@@ -1,0 +1,68 @@
+#include "core/pipeline/executor.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/ring.hpp"
+
+namespace contory::core {
+
+void PipelineExecutor::Run(std::size_t count, const FrontFn& front,
+                           const BackFn& back) {
+  if (options_.workers == 0 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (front(i)) back(i);
+    }
+    return;
+  }
+
+  MpmcRing<std::uint64_t> ring(options_.ring_capacity);
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> workers_done{0};
+  const std::size_t nworkers = options_.workers;
+
+  std::vector<std::thread> workers;
+  workers.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) break;
+        if (front(i)) {
+          // Full ring: the caller is draining it concurrently, so this
+          // always clears; yielding keeps the backpressure cheap.
+          while (!ring.TryPush(static_cast<std::uint64_t>(i))) {
+            std::this_thread::yield();
+          }
+        }
+      }
+      workers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Drain back halves while the workers produce. Exit only after every
+  // worker has finished (acquire pairs with their release increment, so
+  // all pushes are visible) and a subsequent pop finds the ring empty.
+  for (;;) {
+    std::uint64_t i = 0;
+    if (ring.TryPop(i)) {
+      back(static_cast<std::size_t>(i));
+      continue;
+    }
+    if (workers_done.load(std::memory_order_acquire) == nworkers) {
+      if (ring.TryPop(i)) {
+        back(static_cast<std::size_t>(i));
+        continue;
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace contory::core

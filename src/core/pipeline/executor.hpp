@@ -1,0 +1,67 @@
+// PipelineExecutor: runs the split submit path — a worker-safe front
+// half (admission + planning) and a simulation-thread back half (facade
+// assignment / activation) — over a batch of queries.
+//
+// Two modes, selected by `workers`:
+//
+//   0 (deterministic) — every query runs front-then-back inline on the
+//     calling thread, in submission order: byte-identical sequencing to
+//     calling the per-query path in a loop. This is what the simulation
+//     and the test suite use.
+//
+//   N > 0 (worker) — N threads pull indices from a shared cursor and run
+//     the front half concurrently; each admitted index is handed to the
+//     calling thread through a bounded lock-free MPMC ring, and the
+//     caller drains the ring running back halves while the workers are
+//     still producing. Per-query outcome slots are disjoint (indexed by
+//     the query's position), so the only cross-thread traffic is the
+//     ring itself and the sharded table's per-shard insert locks.
+//     Back-half order is whatever the ring yields — the final table
+//     state is the same set of activated queries, but event *order* is
+//     not deterministic; worker mode is for the submit hot path, never
+//     for reproducible simulation runs.
+//
+// The executor knows nothing about queries: it moves indices. The
+// ContextFactory supplies the two halves as callbacks and owns the
+// per-index inputs/outcomes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace contory::core {
+
+struct PipelineExecutorOptions {
+  /// 0 = inline deterministic mode; N = admission worker threads.
+  std::size_t workers = 0;
+  /// Bound of the admitted-index ring (rounded up to a power of two).
+  /// A full ring back-pressures workers (they yield until the caller
+  /// drains), so capacity only tunes batching, not correctness.
+  std::size_t ring_capacity = 2048;
+};
+
+class PipelineExecutor {
+ public:
+  /// Front half for index i. Runs on a worker thread in worker mode —
+  /// must only touch thread-safe state (sharded table inserts, atomics).
+  /// Return true to hand the index to the back half.
+  using FrontFn = std::function<bool(std::size_t)>;
+  /// Back half for index i. Always runs on the calling thread.
+  using BackFn = std::function<void(std::size_t)>;
+
+  explicit PipelineExecutor(PipelineExecutorOptions options = {})
+      : options_(options) {}
+
+  /// Runs front/back over indices [0, count). Returns when every front
+  /// has run and every true-returning index's back has run.
+  void Run(std::size_t count, const FrontFn& front, const BackFn& back);
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return options_.workers;
+  }
+
+ private:
+  PipelineExecutorOptions options_;
+};
+
+}  // namespace contory::core

@@ -1,0 +1,389 @@
+#include "core/pipeline/sharded_query_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "obs/observability.hpp"
+
+namespace contory::core {
+namespace {
+constexpr const char* kModule = "querytable";
+
+/// Cached registry handles (stable across Reset(); see MetricsRegistry).
+obs::Gauge& LiveGauge() {
+  static obs::Gauge& g =
+      obs::Observability::metrics().GetGauge("queries_live");
+  return g;
+}
+
+obs::Counter& CompletedCounter(QueryState from) {
+  static obs::Counter* by_state[5] = {};
+  auto& slot = by_state[static_cast<std::size_t>(from)];
+  if (slot == nullptr) {
+    slot = &obs::Observability::metrics().GetCounter(
+        "queries_completed_total", {{"state", QueryStateName(from)}});
+  }
+  return *slot;
+}
+
+[[nodiscard]] std::size_t RoundUpPow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryIdInterner
+
+QueryIdInterner::InternResult QueryIdInterner::Intern(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = ids_.try_emplace(name, next_);
+  if (!inserted) return {it->second, false};
+  const QueryId id = next_++;
+  const std::size_t offset = static_cast<std::size_t>(id - base_);
+  if (offset / kChunkSlots >= chunks_.size()) {
+    if (!spares_.empty()) {
+      chunks_.push_back(std::move(spares_.back()));
+      spares_.pop_back();
+    } else {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+  }
+  *SlotFor(id) = name;
+  return {id, true};
+}
+
+QueryId QueryIdInterner::Lookup(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidQueryId : it->second;
+}
+
+std::string QueryIdInterner::Name(QueryId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string* slot = SlotFor(id);
+  return slot == nullptr ? std::string{} : *slot;
+}
+
+void QueryIdInterner::Release(QueryId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string* slot = SlotFor(id);
+  if (slot == nullptr || slot->empty()) return;
+  ids_.erase(*slot);
+  slot->clear();
+  Chunk& chunk = *chunks_[static_cast<std::size_t>(id - base_) / kChunkSlots];
+  ++chunk.released;
+  // Recycle fully-released front chunks; the tail chunk is still filling
+  // (ids below next_ may land in it), so it always stays.
+  while (chunks_.size() > 1 && chunks_.front()->released == kChunkSlots) {
+    chunks_.front()->released = 0;
+    if (spares_.size() < 2) spares_.push_back(std::move(chunks_.front()));
+    chunks_.pop_front();
+    base_ += kChunkSlots;
+  }
+}
+
+std::size_t QueryIdInterner::live() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+std::uint64_t QueryIdInterner::total_interned() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_ - 1;
+}
+
+std::string* QueryIdInterner::SlotFor(QueryId id) {
+  if (id < base_ || id >= next_) return nullptr;
+  const std::size_t offset = static_cast<std::size_t>(id - base_);
+  return &chunks_[offset / kChunkSlots]->names[offset % kChunkSlots];
+}
+
+const std::string* QueryIdInterner::SlotFor(QueryId id) const {
+  return const_cast<QueryIdInterner*>(this)->SlotFor(id);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedQueryTable
+
+std::uint64_t EnsureProvisionSpan(QueryRecord& record,
+                                  query::SourceSel kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  QueryRecord::ObsSpans& spans = record.obs;
+  if (spans.provision[i] == 0 && spans.provision_pending[i]) {
+    spans.provision_pending[i] = false;
+    spans.provision[i] = obs::Observability::tracer().BeginStageAt(
+        spans.root, "provision", query::SourceSelName(kind),
+        spans.provision_start[i], spans.provision_energy0[i]);
+  }
+  return spans.provision[i];
+}
+
+const char* QueryStateName(QueryState state) noexcept {
+  switch (state) {
+    case QueryState::kAdmitted: return "ADMITTED";
+    case QueryState::kActive: return "ACTIVE";
+    case QueryState::kFailingOver: return "FAILING_OVER";
+    case QueryState::kDegraded: return "DEGRADED";
+    case QueryState::kDone: return "DONE";
+  }
+  return "?";
+}
+
+ShardedQueryTable::ShardedQueryTable(sim::Simulation& sim,
+                                     ShardedQueryTableOptions options)
+    : sim_(sim), completion_cap_(options.completion_log_capacity) {
+  const std::size_t n = RoundUpPow2(std::max<std::size_t>(options.shards, 1));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = n - 1;
+}
+
+ShardedQueryTable::~ShardedQueryTable() {
+  COBS({
+    const SimTime now = sim_.Now();
+    for (auto& shard : shards_) {
+      for (auto& [qid, record] : shard->records) {
+        CloseSpans(record, now, "torn-down", "torn-down");
+      }
+    }
+  });
+}
+
+void ShardedQueryTable::CloseSpans(QueryRecord& record, SimTime now,
+                                   const char* how,
+                                   const char* root_status) {
+  auto& tracer = obs::Observability::tracer();
+  QueryRecord::ObsSpans& spans = record.obs;
+  // A deferred root must exist before its armed children can attach.
+  EnsureRootSpan(record);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const std::uint64_t sid =
+        EnsureProvisionSpan(record, static_cast<query::SourceSel>(k));
+    if (sid != 0) tracer.EndStage(sid, now, how);
+    spans.provision[k] = 0;
+  }
+  if (spans.failover != 0) {
+    tracer.EndStage(spans.failover, now, how);
+    spans.failover = 0;
+  }
+  if (spans.degraded != 0) {
+    tracer.EndStage(spans.degraded, now, how);
+    spans.degraded = 0;
+  }
+  if (spans.root != 0) {
+    tracer.EndQuery(spans.root, now, root_status);
+    spans.root = 0;
+    LiveGauge().Add(-1.0);
+  }
+  if (record.state == QueryState::kDegraded) {
+    obs::Observability::metrics().GetGauge("queries_degraded").Add(-1.0);
+  }
+}
+
+std::uint64_t ShardedQueryTable::EnsureRootSpan(QueryRecord& record) {
+  QueryRecord::ObsSpans& spans = record.obs;
+  if (spans.root == 0 && spans.root_pending) {
+    spans.root_pending = false;
+    spans.root = obs::Observability::tracer().BeginQueryAt(
+        record.query.id, spans.root_start, spans.root_energy0,
+        energy_probe_);
+  }
+  return spans.root;
+}
+
+Result<QueryId> ShardedQueryTable::Admit(query::CxtQuery query,
+                                         Client& client,
+                                         const AdmitOptions& options) {
+  if (query.id.empty()) {
+    return InvalidArgument("query must have an id before registration");
+  }
+  const auto [qid, created] = interner_.Intern(query.id);
+  if (!created) {
+    return AlreadyExists("query '" + query.id + "' already active");
+  }
+  QueryRecord record;
+  record.client = &client;
+  record.qid = qid;
+  record.state = QueryState::kAdmitted;
+  if (options.defer_obs) {
+    record.submitted = options.now;
+    if (COBS_ON()) {
+      // Worker-mode admission: the tracer is simulation-thread-owned, so
+      // arm the root span with the batch's time/energy snapshot and let
+      // EnsureRootSpan materialize it on the simulation thread. The live
+      // gauge is an atomic and can move here.
+      record.obs.root_pending = true;
+      record.obs.root_start = options.now;
+      record.obs.root_energy0 = options.energy_now_j;
+      LiveGauge().Add(1.0);
+    }
+  } else {
+    record.submitted = sim_.Now();
+    COBS({
+      record.obs.root = obs::Observability::tracer().BeginQuery(
+          query.id, record.submitted, energy_probe_);
+      LiveGauge().Add(1.0);
+    });
+  }
+  record.query = std::move(query);
+  Shard& shard = ShardFor(qid);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.records.emplace(qid, std::move(record));
+  }
+  live_.fetch_add(1, std::memory_order_relaxed);
+  total_admitted_.fetch_add(1, std::memory_order_relaxed);
+  return qid;
+}
+
+QueryRecord* ShardedQueryTable::FindById(QueryId qid) {
+  if (qid == kInvalidQueryId) return nullptr;
+  Shard& shard = ShardFor(qid);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.records.find(qid);
+  return it == shard.records.end() ? nullptr : &it->second;
+}
+
+const QueryRecord* ShardedQueryTable::FindById(QueryId qid) const {
+  return const_cast<ShardedQueryTable*>(this)->FindById(qid);
+}
+
+QueryRecord* ShardedQueryTable::Find(const std::string& id) {
+  return FindById(interner_.Lookup(id));
+}
+
+const QueryRecord* ShardedQueryTable::Find(const std::string& id) const {
+  return const_cast<ShardedQueryTable*>(this)->Find(id);
+}
+
+bool ShardedQueryTable::ValidEdge(QueryState from, QueryState to) noexcept {
+  if (from == QueryState::kDone) return false;  // terminal
+  switch (to) {
+    case QueryState::kAdmitted:
+      return false;  // admission happens once, via Admit()
+    case QueryState::kActive:
+      // Assignment, failover success, or degraded recovery.
+      return from == QueryState::kAdmitted ||
+             from == QueryState::kFailingOver ||
+             from == QueryState::kDegraded;
+    case QueryState::kFailingOver:
+      return from == QueryState::kActive;
+    case QueryState::kDegraded:
+      return from == QueryState::kFailingOver;
+    case QueryState::kDone:
+      return true;  // any live state may finish (cancel, expiry, error)
+  }
+  return false;
+}
+
+bool ShardedQueryTable::Transition(QueryRecord& record, QueryState to) {
+  if (record.state == to) return true;  // idempotent self-edge
+  if (!ValidEdge(record.state, to)) {
+    const auto refused =
+        invalid_transitions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (refused == 1) {
+      CLOG_WARN(kModule,
+                "first refused state-machine edge observed — a pipeline "
+                "stage is driving the lifecycle out of order");
+    }
+    COBS(obs::Observability::metrics()
+             .GetCounter("query_invalid_transitions_total")
+             .Inc());
+    CLOG_WARN(kModule, "query %s: refused %s -> %s",
+              record.query.id.c_str(), QueryStateName(record.state),
+              QueryStateName(to));
+    return false;
+  }
+  record.state = to;
+  return true;
+}
+
+void ShardedQueryTable::Finish(const std::string& id) {
+  FinishById(interner_.Lookup(id));
+}
+
+void ShardedQueryTable::FinishById(QueryId qid) {
+  if (qid == kInvalidQueryId) return;
+  Shard& shard = ShardFor(qid);
+  // Extract under the lock; span/log work happens outside it (simulation
+  // thread only — Finish never races another mutation of this record).
+  QueryRecord record;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.records.find(qid);
+    if (it == shard.records.end()) return;
+    record = std::move(it->second);
+    shard.records.erase(it);
+  }
+  const QueryState from = record.state;
+  const SimTime now = sim_.Now();
+  COBS({
+    // Single close point for the whole span tree: any stage span still
+    // open at the terminal transition is force-closed here, then the
+    // root closes exactly once with the state the query finished from.
+    CloseSpans(record, now, "closed-at-finish", QueryStateName(from));
+    CompletedCounter(from).Inc();
+  });
+  interner_.Release(qid);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  total_completed_.fetch_add(1, std::memory_order_relaxed);
+  completions_.push_back(Completion{std::move(record.query.id), from, now});
+  if (completion_cap_ != 0) {
+    while (completions_.size() > completion_cap_) {
+      completions_.pop_front();
+      ++completions_dropped_;
+    }
+  }
+}
+
+bool ShardedQueryTable::RecordDelivery(QueryRecord& record,
+                                       const std::string& item_id) {
+  if (record.seen_items.contains(item_id)) return false;
+  record.seen_items.insert(item_id);
+  record.seen_order.push_back(item_id);
+  while (record.seen_order.size() > kSeenCap) {
+    record.seen_items.erase(record.seen_order.front());
+    record.seen_order.erase(record.seen_order.begin());
+  }
+  ++record.items_delivered;
+  return true;
+}
+
+void ShardedQueryTable::ForEachActive(
+    const std::function<void(const QueryRecord&)>& visit) const {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [qid, record] : shard->records) visit(record);
+  }
+}
+
+std::vector<std::string> ShardedQueryTable::ActiveIdsShard(
+    std::size_t shard_index) const {
+  std::vector<std::string> ids;
+  if (shard_index >= shards_.size()) return ids;
+  const Shard& shard = *shards_[shard_index];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  ids.reserve(shard.records.size());
+  for (const auto& [qid, record] : shard.records) {
+    ids.push_back(record.query.id);
+  }
+  return ids;
+}
+
+std::vector<std::string> ShardedQueryTable::ActiveIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(active_count());
+  ForEachActive(
+      [&ids](const QueryRecord& record) { ids.push_back(record.query.id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace contory::core

@@ -1,0 +1,375 @@
+// ShardedQueryTable: the single source of truth for query lifecycle
+// state, partitioned for scale.
+//
+// The paper's QueryManager (Sec. 4.3) "is responsible for maintaining an
+// updated list of all active queries". At production scale that
+// bookkeeping must not be duplicated: facades, failover, degraded mode
+// and delivery all used to keep fragments of per-query state. The table
+// owns one lifecycle record per query and an explicit state machine
+// every pipeline stage reads and writes through:
+//
+//        Admit           Assign            mechanism fails
+//   ---> ADMITTED ------> ACTIVE <------------> FAILING_OVER
+//           |               ^  \                  |
+//           |      recovery |   \ cancel/expiry   | nothing left,
+//           |               v    v                v repository warm
+//           |            DEGRADED ------------> DONE <---- (any state,
+//           +---------------------------------->  ^         cancel)
+//                no mechanism at admission        |
+//                                                 terminal; the record is
+//                                                 erased and a Completion
+//                                                 is logged exactly once
+//
+// Invariant (tested): every admitted query reaches DONE exactly once, no
+// matter how cancel, failover, degraded delivery and policy enforcement
+// interleave — and, since sharding, no matter which shard a record
+// lives on or which thread admitted it.
+//
+// Scale structure (the 1M-concurrent-query redesign):
+//
+//   - Query ids are interned to dense u64 handles (QueryIdInterner, a
+//     chunked name store in the mold of the tracer's open-span window).
+//     Hot-path lookups hash one integer instead of a heap string; the
+//     public string-keyed API survives as a boundary convenience.
+//   - Records are partitioned across N power-of-two shards by id, each
+//     shard a u64-keyed map behind its own mutex. The mutexes guard map
+//     *structure* only (insert/erase/rehash); a record is always owned
+//     by exactly one pipeline stage at a time, so record mutation needs
+//     no lock. In deterministic mode the locks are uncontended and cost
+//     nanoseconds; in worker mode they let N admission workers insert
+//     concurrently while the simulation thread drains assignments.
+//   - Aggregate counters (live/admitted/completed/invalid transitions)
+//     are relaxed atomics — O(1) to read, coherent across shards.
+//   - The terminal Completion log is a bounded ring (oldest dropped,
+//     drops counted) so a million finishes cannot grow memory without
+//     bound; tests that audit full lifecycle history opt into the
+//     unbounded mode with SetCompletionLogCapacity(0).
+//
+// Threading contract: Admit() may be called from PipelineExecutor
+// workers (with deferred obs, see AdmitOptions); every other mutating
+// call — Transition, Finish, RecordDelivery — stays on the simulation
+// thread. Completions and histograms are therefore not locked.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/client.hpp"
+#include "core/query/query.hpp"
+#include "obs/tracer.hpp"
+#include "sim/simulation.hpp"
+
+namespace contory::core {
+
+/// Dense interned query id. 0 is never handed out and means "invalid".
+using QueryId = std::uint64_t;
+inline constexpr QueryId kInvalidQueryId = 0;
+
+/// Interns query-id strings to dense sequential u64 handles and resolves
+/// them back. Names live in fixed-size chunks (stable addresses, no
+/// per-id allocation beyond the string itself); Release() clears a slot
+/// and fully-released front chunks are recycled, so memory is bounded by
+/// *concurrently live* ids plus one chunk, not by ids ever interned.
+/// Thread-safe: one small mutex — interning happens once per admission
+/// and resolution once per completion, both far off the per-item path.
+class QueryIdInterner {
+ public:
+  struct InternResult {
+    QueryId id = kInvalidQueryId;
+    /// False when `name` was already interned (and not yet released).
+    bool created = false;
+  };
+
+  /// Returns the id for `name`, interning it if new.
+  InternResult Intern(const std::string& name);
+  /// Id for `name`, or kInvalidQueryId when not currently interned.
+  [[nodiscard]] QueryId Lookup(const std::string& name) const;
+  /// Name for a live id; empty when unknown or already released.
+  [[nodiscard]] std::string Name(QueryId id) const;
+  /// Frees the slot; the name may be re-interned later (fresh id).
+  void Release(QueryId id);
+
+  [[nodiscard]] std::size_t live() const;
+  [[nodiscard]] std::uint64_t total_interned() const;
+
+ private:
+  static constexpr std::size_t kChunkSlots = 1024;
+  struct Chunk {
+    std::array<std::string, kChunkSlots> names;
+    std::size_t released = 0;
+  };
+
+  [[nodiscard]] std::string* SlotFor(QueryId id);
+  [[nodiscard]] const std::string* SlotFor(QueryId id) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, QueryId> ids_;
+  std::deque<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::unique_ptr<Chunk>> spares_;
+  QueryId base_ = 1;  // id of chunks_[0].names[0]
+  QueryId next_ = 1;
+};
+
+enum class QueryState : std::uint8_t {
+  kAdmitted,     // registered; no facade assigned yet
+  kActive,       // at least one facade provisions it
+  kFailingOver,  // a mechanism failed; re-planning in progress
+  kDegraded,     // served stale repository data; probing for recovery
+  kDone,         // terminal; the record has been erased
+};
+
+[[nodiscard]] const char* QueryStateName(QueryState state) noexcept;
+
+/// Data-driven provisioning strategy for one query, produced by the
+/// StrategyPlanner at admission: which facades start immediately, and the
+/// preference order failover walks when a mechanism dies.
+struct ProvisioningPlan {
+  /// Facade kinds assigned at submission (one for transparent queries,
+  /// every listed source for explicit FROM clauses).
+  std::vector<query::SourceSel> initial;
+  /// Preference order consulted on failover and recovery; availability is
+  /// re-checked against this order at switch time.
+  std::vector<query::SourceSel> failover_order;
+  /// The mechanism the planner preferred originally (switch-back target).
+  query::SourceSel preferred = query::SourceSel::kAuto;
+  /// True when the query's FROM clause was empty and the planner chose
+  /// the mechanism transparently.
+  bool transparent = false;
+};
+
+struct QueryRecord {
+  query::CxtQuery query;
+  Client* client = nullptr;
+  /// Interned handle for query.id; set at admission, stable for life.
+  QueryId qid = kInvalidQueryId;
+  QueryState state = QueryState::kAdmitted;
+  ProvisioningPlan plan;
+  /// Facade kinds currently provisioning this query.
+  std::set<query::SourceSel> assigned;
+  /// Mechanisms that failed for this query (excluded from re-selection).
+  std::set<query::SourceSel> failed;
+  SimTime submitted{};
+  std::uint64_t items_delivered = 0;
+  /// Ids of items already delivered (cross-facade dedup), bounded.
+  std::unordered_set<std::string> seen_items;
+  std::vector<std::string> seen_order;
+
+  /// Tracer span handles (0 = no span). Plain uint64 fields — the hot
+  /// path must never do a string-keyed lookup to find its span. One
+  /// provision slot per SourceSel mechanism (indexed by its enum value).
+  struct ObsSpans {
+    std::uint64_t root = 0;
+    /// Deferred root-span open: worker-mode admission must not touch the
+    /// (simulation-thread-owned) tracer, so it records the admission
+    /// time and an energy sample here ("armed"); EnsureRootSpan()
+    /// materializes the span on the simulation thread with these as its
+    /// true open-time values.
+    bool root_pending = false;
+    SimTime root_start{};
+    double root_energy0 = 0.0;
+    std::uint64_t provision[4] = {0, 0, 0, 0};
+    /// Deferred provision-span opens: facade assignment sits on the
+    /// submit hot path, so it only records the window start and an
+    /// energy sample here ("armed"); EnsureProvisionSpan() materializes
+    /// the tracer span at the stage's first real event (delivery,
+    /// failover, finish) with these as its true open-time values.
+    SimTime provision_start[4] = {};
+    double provision_energy0[4] = {0.0, 0.0, 0.0, 0.0};
+    bool provision_pending[4] = {false, false, false, false};
+    std::uint64_t failover = 0;
+    std::uint64_t degraded = 0;
+  };
+  ObsSpans obs;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return state == QueryState::kDegraded;
+  }
+};
+
+/// Returns the provision-span handle for `kind`, materializing a span
+/// armed at facade assignment on first use. 0 when the mechanism never
+/// had an assignment window or the root span is already closed. Callers
+/// are expected to be inside a COBS block.
+std::uint64_t EnsureProvisionSpan(QueryRecord& record, query::SourceSel kind);
+
+struct ShardedQueryTableOptions {
+  /// Shard count; rounded up to a power of two. Records stripe across
+  /// shards by dense id, so sequential admissions spread perfectly.
+  std::size_t shards = 16;
+  /// Completion-log bound; oldest entries drop beyond it (drops are
+  /// counted). 0 = unbounded (lifecycle-invariant tests opt in).
+  std::size_t completion_log_capacity = 4096;
+};
+
+class ShardedQueryTable {
+ public:
+  /// One terminal transition, logged when a record reaches DONE.
+  struct Completion {
+    std::string id;
+    /// The state the query was in when it finished (kActive for a normal
+    /// duration expiry, kDegraded for a stale-served query, ...).
+    QueryState from = QueryState::kAdmitted;
+    SimTime at{};
+  };
+
+  explicit ShardedQueryTable(sim::Simulation& sim,
+                             ShardedQueryTableOptions options = {});
+  /// Force-closes the spans of any still-live record so the tracer never
+  /// leaks open spans (and never calls an energy probe after teardown).
+  ~ShardedQueryTable();
+
+  ShardedQueryTable(const ShardedQueryTable&) = delete;
+  ShardedQueryTable& operator=(const ShardedQueryTable&) = delete;
+
+  /// Energy source for tracer spans: the owning device's cumulative
+  /// energy ledger (Joules). Set once by the factory that owns this
+  /// table; queries admitted while unset simply carry no energy.
+  void SetEnergyProbe(obs::QueryTracer::EnergyProbe probe) {
+    energy_probe_ = std::move(probe);
+  }
+
+  struct AdmitOptions {
+    /// Worker-mode admission: arm the root span instead of opening it
+    /// (the tracer is simulation-thread-owned) and stamp the record with
+    /// the supplied time/energy snapshot instead of reading the sim.
+    bool defer_obs = false;
+    SimTime now{};
+    double energy_now_j = 0.0;
+  };
+
+  /// Registers a submitted query in state ADMITTED; assigns nothing yet.
+  /// Opens (or, deferred, arms) the query's root tracer span. Returns
+  /// the interned dense id. Thread-safe when `options.defer_obs` is set.
+  Result<QueryId> Admit(query::CxtQuery query, Client& client,
+                        const AdmitOptions& options);
+  Result<QueryId> Admit(query::CxtQuery query, Client& client) {
+    return Admit(std::move(query), client, AdmitOptions());
+  }
+
+  [[nodiscard]] QueryRecord* Find(const std::string& id);
+  [[nodiscard]] const QueryRecord* Find(const std::string& id) const;
+  [[nodiscard]] QueryRecord* FindById(QueryId qid);
+  [[nodiscard]] const QueryRecord* FindById(QueryId qid) const;
+
+  /// Moves `record` along a legal (non-terminal) edge of the state
+  /// machine. Illegal edges are refused (returns false) and counted —
+  /// a refused transition is a pipeline bug, not a crash.
+  bool Transition(QueryRecord& record, QueryState to);
+
+  /// Terminal transition: logs a Completion exactly once and erases the
+  /// record. Finishing an unknown id is a harmless no-op (cancel racing
+  /// a duration expiry). Simulation thread only.
+  void Finish(const std::string& id);
+  void FinishById(QueryId qid);
+
+  /// Records a delivery; returns false when `item_id` was already
+  /// delivered for this query (duplicate across facades).
+  bool RecordDelivery(QueryRecord& record, const std::string& item_id);
+
+  /// Materializes a deferred (worker-admitted) root span; returns the
+  /// handle, 0 when obs never armed one. Simulation thread only; callers
+  /// are expected to be inside a COBS block.
+  std::uint64_t EnsureRootSpan(QueryRecord& record);
+
+  /// Live queries across all shards. O(1): relaxed aggregate counter.
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    return live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Visits every live record without materializing id copies (the
+  /// scale-friendly replacement for collecting ActiveIds at 1M live
+  /// queries). Visit order is by shard, unordered within one; the
+  /// callback must not admit or finish queries.
+  void ForEachActive(
+      const std::function<void(const QueryRecord&)>& visit) const;
+  /// Live ids on one shard (diagnostics; unsorted).
+  [[nodiscard]] std::vector<std::string> ActiveIdsShard(
+      std::size_t shard) const;
+  /// All live ids, sorted. Diagnostics only — allocates O(active_count);
+  /// prefer ForEachActive on anything that could run at scale.
+  [[nodiscard]] std::vector<std::string> ActiveIds() const;
+
+  /// Terminal log, newest last, bounded by the completion-log capacity
+  /// (lifecycle invariant tests run under the default capacity or opt
+  /// into 0 = unbounded).
+  [[nodiscard]] const std::deque<Completion>& completions() const noexcept {
+    return completions_;
+  }
+  void ClearCompletions() { completions_.clear(); }
+  /// 0 = unbounded. Takes effect from the next Finish.
+  void SetCompletionLogCapacity(std::size_t capacity) {
+    completion_cap_ = capacity;
+  }
+  /// Completions evicted from the bounded log (total_completed() still
+  /// counts them).
+  [[nodiscard]] std::uint64_t completions_dropped() const noexcept {
+    return completions_dropped_;
+  }
+  /// Queries ever finished (== total_admitted - live, invariant-tested).
+  [[nodiscard]] std::uint64_t total_completed() const noexcept {
+    return total_completed_.load(std::memory_order_relaxed);
+  }
+  /// Refused state-machine edges observed (should stay zero).
+  [[nodiscard]] std::uint64_t invalid_transitions() const noexcept {
+    return invalid_transitions_.load(std::memory_order_relaxed);
+  }
+  /// Queries ever admitted (diagnostics; admitted == completed + live).
+  [[nodiscard]] std::uint64_t total_admitted() const noexcept {
+    return total_admitted_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] QueryIdInterner& interner() noexcept { return interner_; }
+
+ private:
+  static constexpr std::size_t kSeenCap = 128;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<QueryId, QueryRecord> records;
+  };
+
+  [[nodiscard]] static bool ValidEdge(QueryState from,
+                                      QueryState to) noexcept;
+  [[nodiscard]] Shard& ShardFor(QueryId qid) noexcept {
+    return *shards_[qid & shard_mask_];
+  }
+  [[nodiscard]] const Shard& ShardFor(QueryId qid) const noexcept {
+    return *shards_[qid & shard_mask_];
+  }
+  /// Closes every span of a record that is leaving the table.
+  void CloseSpans(QueryRecord& record, SimTime now, const char* how,
+                  const char* root_status);
+
+  sim::Simulation& sim_;
+  QueryIdInterner interner_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::uint64_t> total_admitted_{0};
+  std::atomic<std::uint64_t> total_completed_{0};
+  std::atomic<std::uint64_t> invalid_transitions_{0};
+  std::deque<Completion> completions_;
+  std::size_t completion_cap_;
+  std::uint64_t completions_dropped_ = 0;
+  obs::QueryTracer::EnergyProbe energy_probe_;
+};
+
+/// The pipeline grew up around the unsharded QueryTable name; the
+/// sharded table is a drop-in replacement for its whole API.
+using QueryTable = ShardedQueryTable;
+
+}  // namespace contory::core

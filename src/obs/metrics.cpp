@@ -127,6 +127,7 @@ MetricsRegistry::Slot& MetricsRegistry::GetSlot(
     const std::string& name, const Labels& labels, Kind kind,
     const std::vector<double>* bounds) {
   const std::string key = EncodeKey(name, labels);
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
@@ -153,6 +154,7 @@ MetricsRegistry::Slot& MetricsRegistry::GetSlot(
 
 const MetricsRegistry::Slot* MetricsRegistry::FindSlot(
     const std::string& name, const Labels& labels, Kind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(EncodeKey(name, labels));
   if (it == entries_.end() || it->second.kind != kind) return nullptr;
   return &it->second;
@@ -193,6 +195,7 @@ const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
 }
 
 std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> out;
   out.reserve(entries_.size());
   for (const auto& [key, slot] : entries_) {
@@ -209,6 +212,7 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{";
   bool first = true;
   for (const auto& [key, slot] : entries_) {
@@ -244,6 +248,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   // Group # TYPE headers by metric name; entries_ is key-sorted so all
   // label variants of one name are adjacent.
@@ -289,6 +294,7 @@ std::string MetricsRegistry::ToPrometheusText() const {
 }
 
 void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, slot] : entries_) {
     switch (slot.kind) {
       case Kind::kCounter: slot.counter->Reset(); break;

@@ -16,9 +16,11 @@
 // so there are no locks at all; "lock-cheap" here means free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,25 +33,37 @@ namespace contory::obs {
 /// order names the same metric.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Counters and gauges are lock-free atomics: the worker-mode admission
+/// stage (PipelineExecutor) increments them from several threads at once,
+/// and a relaxed fetch_add costs the same as the old plain add on the
+/// single-threaded deterministic path.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-  void Reset() noexcept { value_ = 0; }
+  void Inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(double v) noexcept { value_ = v; }
-  void Add(double delta) noexcept { value_ += delta; }
-  [[nodiscard]] double value() const noexcept { return value_; }
-  void Reset() noexcept { value_ = 0.0; }
+  void Set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram with a parallel Welford accumulator. Bucket i
@@ -144,7 +158,10 @@ class MetricsRegistry {
   /// Zeroes every value. Handles handed out by Get*() remain valid.
   void Reset();
 
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Slot {
@@ -163,6 +180,12 @@ class MetricsRegistry {
   /// std::map: node-based (stable Slot addresses) and key-sorted
   /// (deterministic exporter output).
   std::map<std::string, Slot> entries_;
+  /// Guards entries_ (slot creation/lookup and exporters). Hot-path
+  /// updates go through the handed-out Counter/Gauge atomics and never
+  /// take this — the lock only serializes handle resolution, which every
+  /// instrumentation site caches, and cold exporter reads. Histograms
+  /// are not atomic: Observe() remains simulation-thread-only.
+  mutable std::mutex mu_;
 };
 
 }  // namespace contory::obs

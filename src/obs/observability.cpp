@@ -2,7 +2,7 @@
 
 namespace contory::obs {
 
-bool Observability::enabled_ = true;
+std::atomic<bool> Observability::enabled_{true};
 
 MetricsRegistry& Observability::metrics() {
   static MetricsRegistry registry;

@@ -18,6 +18,8 @@
 // through every constructor. Tests call ResetForTest() in SetUp.
 #pragma once
 
+#include <atomic>
+
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 
@@ -25,8 +27,12 @@ namespace contory::obs {
 
 class Observability {
  public:
-  static void Enable(bool on) noexcept { enabled_ = on; }
-  [[nodiscard]] static bool Enabled() noexcept { return enabled_; }
+  static void Enable(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool Enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// The process-wide registry/tracer. Construction is lazy; references
   /// stay valid for the process lifetime.
@@ -38,7 +44,7 @@ class Observability {
   static void ResetForTest();
 
  private:
-  static bool enabled_;
+  static std::atomic<bool> enabled_;
 };
 
 }  // namespace contory::obs
