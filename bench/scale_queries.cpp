@@ -22,6 +22,14 @@
 // reports the relative submit-latency overhead at the 10k milestone
 // (budget: <= 5%). --out=FILE then writes the comparison instead (see
 // BENCH_obs.json at the repo root).
+//
+// --overload switches to the overload-protection sweep: a 10x offered-
+// load spike against an OverloadGovernor-gated factory, reporting
+// per-class submit p50/p99 and shed rates per phase plus the graceful-
+// degradation gates (see RunOverloadMode below and docs/ADMISSION.md;
+// BENCH_overload.json at the repo root holds a reference run).
+// --submits=N scales the sweep; the CONTORY_STRESS CMake toggle uses it
+// to grow the ctest smoke from 1k to 100k submits.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -350,12 +358,368 @@ int RunScaleMode(bool smoke, std::size_t max_active, std::size_t shards,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Overload mode (--overload): graceful load shedding under a 10x spike.
+//
+// One factory with the OverloadGovernor's watermarks armed is driven
+// through three phases on a frozen simulation clock (occupancy, not
+// time, is the pressure axis):
+//   1. baseline — N/10 single submits, below every watermark;
+//   2. spike    — 6N/10 single submits, a 10x offered-load burst that
+//                 crosses the background and then the standard watermark;
+//   3. batch    — 3N/10 queries through ProcessCxtQueryBatch with two
+//                 workers: the pre-gated worker path, still shedding.
+// Every 5th query is interactive, two in five standard, two in five
+// background; half the background queries reuse one of eight "warm"
+// SELECT types seeded into the repository up front, so their sheds take
+// the stale-answer fast path (degraded delivery) instead of a refusal.
+// The gates at the end are the graceful-degradation contract: interactive
+// is never shed and its p99 stays within 2x of the unloaded baseline,
+// background sheds strictly before standard, admitted == completed +
+// live, zero invalid transitions, zero leaked spans — plus the drop/ring
+// gauges (completion_log_dropped, executor_ring_high_watermark) that the
+// bounded completion log and the worker ring must have populated.
+
+constexpr std::size_t kWarmTypes = 8;
+
+query::QueryPriority ClassOf(std::size_t i) {
+  switch (i % 5) {
+    case 0: return query::QueryPriority::kInteractive;
+    case 1:
+    case 2: return query::QueryPriority::kStandard;
+    default: return query::QueryPriority::kBackground;
+  }
+}
+
+query::CxtQuery MakeOverloadQuery(sim::Simulation& sim, std::size_t i) {
+  const query::QueryPriority cls = ClassOf(i);
+  // i % 10 in {3, 8}: half the background share (i % 5 in {3, 4}).
+  const bool warm = i % 10 == 3 || i % 10 == 8;
+  auto builder = query::QueryBuilder(
+      warm ? "warm-" + std::to_string(i % kWarmTypes)
+           : "load-type-" + std::to_string(i));
+  builder.FromAdHoc(1, 1).For(std::chrono::hours{1}).Priority(cls);
+  // Warm queries are on-demand: their stale fast path delivers one item
+  // and finishes, feeding the bounded completion log.
+  if (!warm) builder.Every(60s);
+  auto q = builder.Build();
+  q.id = sim.ids().NextId("q");
+  return q;
+}
+
+struct ClassCounts {
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::vector<double> lat_us;  // wall latency of every submit call
+};
+
+struct OverloadPhase {
+  const char* name = "";
+  ClassCounts cls[3];
+};
+
+const char* ClassName(std::size_t c) {
+  return query::QueryPriorityName(static_cast<query::QueryPriority>(c));
+}
+
+void SubmitSingles(core::ContextFactory& factory,
+                   core::CollectingClient& client, sim::Simulation& sim,
+                   std::size_t begin, std::size_t count, OverloadPhase& phase,
+                   std::vector<std::string>& ids, std::size_t* first_shed,
+                   std::size_t* order) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = begin + k;
+    auto q = MakeOverloadQuery(sim, i);
+    const auto c = static_cast<std::size_t>(q.priority);
+    const auto start = Clock::now();
+    const auto id = factory.ProcessCxtQuery(std::move(q), client);
+    phase.cls[c].lat_us.push_back(MicrosSince(start));
+    if (id.ok()) {
+      ++phase.cls[c].admitted;
+      ids.push_back(*id);
+    } else if (id.status().code() == StatusCode::kOverloaded) {
+      ++phase.cls[c].shed;
+      if (first_shed[c] == SIZE_MAX) first_shed[c] = *order;
+    } else {
+      std::fprintf(stderr, "unexpected submit failure at %zu: %s\n", i,
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+    ++*order;
+  }
+}
+
+int RunOverloadMode(bool smoke, std::size_t submits,
+                    const std::string& out_path) {
+  obs::Observability::ResetForTest();
+  obs::Observability::Enable(true);
+
+  const std::size_t n = submits != 0 ? submits : (smoke ? 1'000 : 30'000);
+  const std::size_t baseline_n = std::max<std::size_t>(n / 10, 50);
+  const std::size_t spike_n = baseline_n * 6;
+  const std::size_t batch_n = baseline_n * 3;
+  // Background sheds early in the spike; standard only once the spike has
+  // pushed occupancy past half its span. Interactive has no watermark.
+  const std::size_t high_wm = baseline_n + spike_n / 10;
+  const std::size_t standard_wm = baseline_n + spike_n / 2;
+
+  bench::PrintHeading("Overload protection: graceful shedding under spike");
+  std::printf(
+      "Admission gated by the OverloadGovernor (high watermark %zu,\n"
+      "standard watermark %zu). Baseline %zu submits, spike %zu (10x\n"
+      "offered load), then %zu through the 2-worker batch path; class mix\n"
+      "1:2:2 interactive:standard:background, half the background warm.\n\n",
+      high_wm, standard_wm, baseline_n, spike_n, batch_n);
+
+  testbed::DeviceOptions opts;
+  opts.name = "phone-overload";
+  opts.with_cellular = false;
+  opts.factory_config.table_shards = 64;
+  // Warm SELECT types repeat across queries; merging would collapse them.
+  opts.factory_config.enable_query_merging = false;
+  // Small bound so the drop path is exercised even in smoke runs.
+  opts.factory_config.completion_log_capacity = 64;
+  opts.factory_config.overload.shed_high_watermark = high_wm;
+  opts.factory_config.overload.shed_standard_watermark = standard_wm;
+
+  OverloadPhase baseline;
+  baseline.name = "baseline";
+  OverloadPhase spike;
+  spike.name = "spike-10x";
+  OverloadPhase batchp;
+  batchp.name = "batch-2w";
+  std::size_t first_shed[3] = {SIZE_MAX, SIZE_MAX, SIZE_MAX};
+  std::uint64_t total_admitted = 0;
+  std::uint64_t total_completed = 0;
+  std::uint64_t invalid_transitions = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t stale_fastpath = 0;
+  std::uint64_t shed_counter[3] = {0, 0, 0};
+  std::size_t live = 0;
+  double log_dropped = 0.0;
+  double ring_high = 0.0;
+  double batch_ms = 0.0;
+  {
+    testbed::World world{777};
+    auto& device = world.AddDevice(opts);
+    auto& factory = device.contory();
+    auto& sim = world.sim();
+    core::CollectingClient client;
+
+    for (std::size_t k = 0; k < kWarmTypes; ++k) {
+      CxtItem item;
+      item.id = "seed-" + std::to_string(k);
+      item.type = "warm-" + std::to_string(k);
+      item.value = CxtValue(20.0 + static_cast<double>(k));
+      item.timestamp = sim.Now();
+      item.source = {SourceKind::kIntSensor, "bench-seed"};
+      factory.repository().Store(std::move(item));
+    }
+
+    std::vector<std::string> ids;
+    ids.reserve(n);
+    std::size_t order = 0;
+    SubmitSingles(factory, client, sim, 0, baseline_n, baseline, ids,
+                  first_shed, &order);
+    SubmitSingles(factory, client, sim, baseline_n, spike_n, spike, ids,
+                  first_shed, &order);
+
+    std::vector<query::CxtQuery> batch;
+    batch.reserve(batch_n);
+    for (std::size_t k = 0; k < batch_n; ++k) {
+      batch.push_back(MakeOverloadQuery(sim, baseline_n + spike_n + k));
+    }
+    const auto bstart = Clock::now();
+    const auto results = factory.ProcessCxtQueryBatch(
+        std::move(batch), client, core::ContextFactory::BatchOptions{2});
+    batch_ms = MicrosSince(bstart) / 1'000.0;
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      const std::size_t i = baseline_n + spike_n + k;
+      const auto c = static_cast<std::size_t>(ClassOf(i));
+      if (results[k].ok()) {
+        ++batchp.cls[c].admitted;
+        ids.push_back(*results[k]);
+      } else if (results[k].status().code() == StatusCode::kOverloaded) {
+        ++batchp.cls[c].shed;
+        if (first_shed[c] == SIZE_MAX) first_shed[c] = order + k;
+      } else {
+        std::fprintf(stderr, "unexpected batch failure at %zu: %s\n", k,
+                     results[k].status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Lifecycle accounting snapshot, before draining.
+    auto& table = factory.queries();
+    total_admitted = table.total_admitted();
+    total_completed = table.total_completed();
+    live = table.active_count();
+    invalid_transitions = table.invalid_transitions();
+    degraded = factory.degraded_deliveries();
+
+    auto& metrics = obs::Observability::metrics();
+    const auto* dropped = metrics.FindGauge("completion_log_dropped");
+    log_dropped = dropped != nullptr ? dropped->value() : 0.0;
+    const auto* ring = metrics.FindGauge("executor_ring_high_watermark");
+    ring_high = ring != nullptr ? ring->value() : 0.0;
+    const auto* fast = metrics.FindCounter("admission_stale_fastpath_total");
+    stale_fastpath = fast != nullptr ? fast->value() : 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto* counter = metrics.FindCounter(
+          "admission_shed_total", {{"class", ClassName(c)}});
+      shed_counter[c] = counter != nullptr ? counter->value() : 0;
+    }
+
+    // Drain: cancel everything still live so every span must close.
+    for (const auto& id : ids) factory.CancelCxtQuery(id);
+  }
+  const std::size_t open_spans = obs::Observability::tracer().open_count();
+  const std::size_t double_closes =
+      obs::Observability::tracer().double_closes();
+
+  std::vector<bench::Row> rows;
+  std::vector<bench::JsonObject> json;
+  OpStats stats[3][3];  // [phase][class]
+  const OverloadPhase* phases[3] = {&baseline, &spike, &batchp};
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const ClassCounts& counts = phases[p]->cls[c];
+      const std::size_t offered = counts.admitted + counts.shed;
+      const double shed_pct =
+          offered > 0 ? 100.0 * static_cast<double>(counts.shed) /
+                            static_cast<double>(offered)
+                      : 0.0;
+      stats[p][c] = Summarize(counts.lat_us);
+      char label[48];
+      std::snprintf(label, sizeof label, "%-9s %s", phases[p]->name,
+                    ClassName(c));
+      char measured[96];
+      std::snprintf(measured, sizeof measured,
+                    "p50 %.1f us p99 %.1f us, shed %zu/%zu (%.0f%%)",
+                    stats[p][c].p50_us, stats[p][c].p99_us, counts.shed,
+                    offered, shed_pct);
+      rows.push_back({label, measured, "n/a (extension)", ""});
+
+      bench::JsonObject obj;
+      obj.Set("phase", phases[p]->name)
+          .Set("class", ClassName(c))
+          .Set("offered", static_cast<double>(offered))
+          .Set("admitted", static_cast<double>(counts.admitted))
+          .Set("shed", static_cast<double>(counts.shed))
+          .Set("shed_pct", shed_pct);
+      if (!counts.lat_us.empty()) {
+        obj.Set("submit_p50_us", stats[p][c].p50_us)
+            .Set("submit_p99_us", stats[p][c].p99_us);
+      }
+      json.push_back(obj);
+    }
+  }
+  bench::PrintTable("Per-class submit latency and shed rate by phase",
+                    "latency / shed", rows);
+  std::printf("\nJSON:\n%s", bench::ToJsonArray(json).c_str());
+
+  const double p99_ratio =
+      stats[0][0].p99_us > 0.0 ? stats[1][0].p99_us / stats[0][0].p99_us
+                               : 0.0;
+  const std::uint64_t live64 = static_cast<std::uint64_t>(live);
+  std::printf(
+      "\nInteractive p99: %.2f us baseline -> %.2f us spike (x%.2f, "
+      "budget 2x)\n"
+      "Accounting: admitted %llu = completed %llu + live %llu; "
+      "invalid transitions %llu\n"
+      "Shed counters i/s/b: %llu/%llu/%llu; stale fast path %llu; "
+      "degraded deliveries %llu\n"
+      "Gauges: completion_log_dropped %.0f, executor_ring_high_watermark "
+      "%.0f (batch %.1f ms); open spans %zu, double closes %zu\n",
+      stats[0][0].p99_us, stats[1][0].p99_us, p99_ratio,
+      static_cast<unsigned long long>(total_admitted),
+      static_cast<unsigned long long>(total_completed),
+      static_cast<unsigned long long>(live64),
+      static_cast<unsigned long long>(invalid_transitions),
+      static_cast<unsigned long long>(shed_counter[0]),
+      static_cast<unsigned long long>(shed_counter[1]),
+      static_cast<unsigned long long>(shed_counter[2]),
+      static_cast<unsigned long long>(stale_fastpath),
+      static_cast<unsigned long long>(degraded), log_dropped, ring_high,
+      batch_ms, open_spans, double_closes);
+
+  if (!out_path.empty()) {
+    bench::JsonObject summary;
+    summary.Set("bench", "scale_queries_overload")
+        .Set("cores", static_cast<double>(std::thread::hardware_concurrency()))
+        .Set("submits_total", static_cast<double>(baseline_n + spike_n +
+                                                  batch_n))
+        .Set("high_watermark", static_cast<double>(high_wm))
+        .Set("standard_watermark", static_cast<double>(standard_wm))
+        .Set("interactive_p99_us_baseline", stats[0][0].p99_us)
+        .Set("interactive_p99_us_spike", stats[1][0].p99_us)
+        .Set("interactive_p99_spike_over_baseline", p99_ratio)
+        .Set("interactive_shed",
+             static_cast<double>(shed_counter[0]))
+        .Set("standard_shed", static_cast<double>(shed_counter[1]))
+        .Set("background_shed", static_cast<double>(shed_counter[2]))
+        .Set("stale_fastpath_total", static_cast<double>(stale_fastpath))
+        .Set("degraded_deliveries", static_cast<double>(degraded))
+        .Set("admitted", static_cast<double>(total_admitted))
+        .Set("completed_plus_live",
+             static_cast<double>(total_completed + live64))
+        .Set("invalid_transitions",
+             static_cast<double>(invalid_transitions))
+        .Set("completion_log_dropped", log_dropped)
+        .Set("executor_ring_high_watermark", ring_high)
+        .Set("open_spans", static_cast<double>(open_spans));
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", summary.ToString().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  // Graceful-degradation gates. Latency is wall-clock and shared CI
+  // machines are noisy, so the 2x interactive budget is informational in
+  // smoke runs and enforced in full runs; the structural gates always
+  // hold or the governor is broken.
+  bool ok = true;
+  const auto gate = [&ok](bool pass, const char* what) {
+    if (!pass) {
+      std::fprintf(stderr, "OVERLOAD GATE FAILED: %s\n", what);
+      ok = false;
+    }
+  };
+  gate(shed_counter[0] == 0, "interactive must never shed");
+  gate(shed_counter[2] > 0, "background must shed under spike");
+  gate(shed_counter[1] > 0, "standard must shed past its watermark");
+  gate(first_shed[2] < first_shed[1],
+       "background must shed before standard");
+  gate(stale_fastpath > 0, "warm sheds must take the stale fast path");
+  gate(degraded > 0, "stale fast path must deliver");
+  gate(total_admitted == total_completed + live64,
+       "admitted != completed + live");
+  gate(invalid_transitions == 0, "invalid lifecycle transitions");
+  gate(log_dropped > 0.0, "bounded completion log never dropped");
+  gate(ring_high >= 1.0, "worker ring high watermark never observed");
+  gate(open_spans == 0 && double_closes == 0, "leaked or double-closed spans");
+  if (!smoke) {
+    gate(p99_ratio <= 2.0, "interactive p99 exceeded 2x baseline");
+  } else if (p99_ratio > 2.0) {
+    std::printf("note: interactive p99 ratio %.2f > 2 (not gated in smoke)\n",
+                p99_ratio);
+  }
+  if (smoke) std::printf(ok ? "SMOKE OK\n" : "SMOKE FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string obs_mode = "scale";
   std::string out_path;
   bool smoke = false;
+  bool overload = false;
+  std::size_t submits = 0;
   std::size_t max_active = 1'000'000;
   std::size_t shards = 64;
   std::vector<std::size_t> worker_counts{0, 1, 2, 4};
@@ -379,14 +743,20 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(arg, "--overload") == 0) {
+      overload = true;
+    } else if (std::strncmp(arg, "--submits=", 10) == 0) {
+      submits = static_cast<std::size_t>(std::strtoull(arg + 10, nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: scale_queries [--obs=on|off|both] [--out=FILE]\n"
                    "                     [--max=N] [--shards=N]\n"
-                   "                     [--workers=a,b,c] [--smoke]\n");
+                   "                     [--workers=a,b,c] [--smoke]\n"
+                   "                     [--overload] [--submits=N]\n");
       return 2;
     }
   }
+  if (overload) return RunOverloadMode(smoke, submits, out_path);
   if (obs_mode == "scale") {
     if (smoke) worker_counts = {0, 2};
     return RunScaleMode(smoke, max_active, shards, worker_counts, out_path);

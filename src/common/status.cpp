@@ -13,6 +13,7 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOverloaded: return "OVERLOADED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted, // control policy or memory/energy budget hit
   kFailedPrecondition,// operation ordering violated (publish before register)
   kAlreadyExists,     // duplicate registration / id collision
+  kOverloaded,        // admission shed the request; retry-after hint in msg
   kInternal,          // bug in our own machinery
 };
 
@@ -83,6 +84,9 @@ inline Status FailedPrecondition(std::string msg) {
 }
 inline Status AlreadyExists(std::string msg) {
   return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status Overloaded(std::string msg) {
+  return {StatusCode::kOverloaded, std::move(msg)};
 }
 inline Status Internal(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};

@@ -38,7 +38,8 @@ ContextFactory::ContextFactory(DeviceServices services,
       planner_(PlannerEnv{&internal_ref_, &bt_ref_, &wifi_ref_, &cell_ref_,
                           &services_.default_infra_address,
                           &policy_.active_actions()}),
-      admission_(*services_.sim, access_, table_),
+      governor_(*services_.sim, repository_, config_.overload),
+      admission_(*services_.sim, access_, table_, &governor_),
       router_(*services_.sim, table_, repository_),
       coordinator_(
           *services_.sim,
@@ -175,35 +176,81 @@ Result<std::string> ContextFactory::ProcessCxtQuery(query::CxtQuery query,
     if (outcome.qid != kInvalidQueryId) table_.FinishById(outcome.qid);
     return outcome.status;
   }
-  return ActivateQuery(outcome.qid);
+  if (outcome.degrade) return DegradeAtAdmission(outcome);
+  return ActivateQuery(outcome.qid, outcome.note);
 }
 
 ContextFactory::AdmitOutcome ContextFactory::AdmitAndPlan(
     query::CxtQuery&& query, Client& client,
-    const QueryTable::AdmitOptions& admit_options) {
-  // Stage 1: admission (validation, access control, policy gates).
+    const QueryTable::AdmitOptions& admit_options,
+    const OverloadGovernor::Decision* pregate) {
+  // Stages 0–1: overload gate and admission (validation, access
+  // control, policy gates).
+  OverloadGovernor::Decision decision;
   Result<QueryId> admitted =
       admission_.Admit(query, client, policy_.active_actions(),
-                       admit_options);
+                       admit_options, pregate, &decision);
   if (!admitted.ok()) return {kInvalidQueryId, admitted.status()};
-  const QueryId qid = *admitted;
-  QueryRecord* record = table_.FindById(qid);
+  AdmitOutcome outcome;
+  outcome.qid = *admitted;
+  outcome.note = decision.note;
+  if (decision.outcome == OverloadGovernor::Decision::Outcome::kDegrade) {
+    // Stale-answer-first: the record is in the table but never plans or
+    // activates; the degraded-mode machinery serves it.
+    outcome.degrade = true;
+    outcome.degrade_cause = decision.status;
+    return outcome;
+  }
+  QueryRecord* record = table_.FindById(outcome.qid);
 
   // Stage 2: planning (FROM clause -> facade set + failover order).
   auto plan = planner_.Plan(record->query);
-  if (!plan.ok()) return {qid, plan.status()};
+  if (!plan.ok()) {
+    outcome.status = plan.status();
+    return outcome;
+  }
   record->plan = *std::move(plan);
-  return {qid, Status::Ok()};
+  return outcome;
 }
 
-Result<std::string> ContextFactory::ActivateQuery(QueryId qid) {
+Result<std::string> ContextFactory::DegradeAtAdmission(
+    const AdmitOutcome& outcome) {
+  QueryRecord* record = table_.FindById(outcome.qid);
+  if (record == nullptr) {
+    return NotFound("query vanished before degraded activation");
+  }
+  COBS({
+    table_.EnsureRootSpan(*record);
+    if (record->obs.root != 0 && outcome.note != nullptr) {
+      obs::Observability::tracer().AddNote(record->obs.root, outcome.note);
+    }
+  });
+  const std::string id = record->query.id;
+  if (!coordinator_.DegradeAtAdmission(*record, outcome.degrade_cause)) {
+    // The cached entry aged out (or degraded mode is off) between the
+    // gate and activation; fall back to the plain shed refusal.
+    table_.FinishById(outcome.qid);
+    return outcome.degrade_cause;
+  }
+  // The query was accepted and is being served stale (an on-demand
+  // round has already finished); its id is the caller's handle.
+  return id;
+}
+
+Result<std::string> ContextFactory::ActivateQuery(QueryId qid,
+                                                  const char* note) {
   QueryRecord* record = table_.FindById(qid);
   if (record == nullptr) {
     return NotFound("query vanished before activation");
   }
   // A worker-admitted record carries an armed-but-unopened root span;
   // materialize it before any child span or delivery can reference it.
-  COBS(table_.EnsureRootSpan(*record));
+  COBS({
+    table_.EnsureRootSpan(*record);
+    if (record->obs.root != 0 && note != nullptr) {
+      obs::Observability::tracer().AddNote(record->obs.root, note);
+    }
+  });
   const std::string id = record->query.id;
 
   // Stage 3: facade assignment.
@@ -255,6 +302,29 @@ std::vector<Result<std::string>> ContextFactory::ProcessCxtQueryBatch(
   admit_options.now = services_.sim->Now();
   admit_options.energy_now_j = services_.phone->energy().TotalEnergyJoules();
 
+  // Overload pre-gating: the governor's token buckets, hysteresis state
+  // and the repository are simulation-thread-only, so every gate
+  // decision is made here, in submission order, before the fan-out —
+  // the same trick as the id pre-assignment above. The occupancy each
+  // decision sees is projected forward the way the deterministic loop
+  // would observe it: an admitted query occupies a record; a degraded
+  // periodic record stays; an on-demand degrade finishes immediately.
+  std::vector<OverloadGovernor::Decision> gates(n);
+  if (governor_.Armed(policy_.active_actions())) {
+    std::size_t projected = table_.active_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      gates[i] = governor_.Decide(queries[i], client,
+                                  policy_.active_actions(), projected);
+      using Outcome = OverloadGovernor::Decision::Outcome;
+      if (gates[i].outcome == Outcome::kAdmit) {
+        ++projected;
+      } else if (gates[i].outcome == Outcome::kDegrade &&
+                 queries[i].mode() != query::InteractionMode::kOnDemand) {
+        ++projected;
+      }
+    }
+  }
+
   results.assign(n, Status{StatusCode::kInternal, "batch slot unprocessed"});
   std::vector<AdmitOutcome> outcomes(n);
   PipelineExecutor executor(
@@ -263,7 +333,7 @@ std::vector<Result<std::string>> ContextFactory::ProcessCxtQueryBatch(
       n,
       [&](std::size_t i) {
         outcomes[i] = AdmitAndPlan(std::move(queries[i]), client,
-                                   admit_options);
+                                   admit_options, &gates[i]);
         // Only indices with a table record need simulation-thread work
         // (activation, or Finish after a planning rejection).
         return outcomes[i].qid != kInvalidQueryId;
@@ -275,8 +345,15 @@ std::vector<Result<std::string>> ContextFactory::ProcessCxtQueryBatch(
           results[i] = outcome.status;
           return;
         }
-        results[i] = ActivateQuery(outcome.qid);
+        if (outcome.degrade) {
+          results[i] = DegradeAtAdmission(outcome);
+          return;
+        }
+        results[i] = ActivateQuery(outcome.qid, outcome.note);
       });
+  COBS(obs::Observability::metrics()
+           .GetGauge("executor_ring_high_watermark")
+           .Set(static_cast<double>(executor.ring_high_watermark())));
   for (std::size_t i = 0; i < n; ++i) {
     if (outcomes[i].qid == kInvalidQueryId) results[i] = outcomes[i].status;
   }

@@ -82,6 +82,11 @@ struct ContextFactoryConfig {
   std::size_t table_shards = 16;
   /// Completion-log bound (0 = unbounded; lifecycle-audit tests opt in).
   std::size_t completion_log_capacity = 4096;
+  /// Overload protection in front of admission: per-client token
+  /// buckets, priority-class load shedding, stale-answer fast path.
+  /// Inert by default (no rate, no watermarks); see
+  /// docs/ADMISSION.md for tuning.
+  OverloadGovernorConfig overload;
 };
 
 class ContextFactory {
@@ -164,6 +169,7 @@ class ContextFactory {
   [[nodiscard]] FailoverCoordinator& failover() noexcept {
     return coordinator_;
   }
+  [[nodiscard]] OverloadGovernor& overload() noexcept { return governor_; }
   [[nodiscard]] InternalReference& internal_reference() noexcept {
     return internal_ref_;
   }
@@ -221,14 +227,29 @@ class ContextFactory {
     /// FinishById it.
     QueryId qid = kInvalidQueryId;
     Status status;
+    /// Shed with a warm repository: the record skipped planning and
+    /// must go through DegradeAtAdmission instead of ActivateQuery.
+    bool degrade = false;
+    Status degrade_cause;
+    /// Shed-decision annotation for the root span (static string).
+    const char* note = nullptr;
   };
-  /// Stages 1–2. Thread-safe when `admit_options.defer_obs` is set and
-  /// `query.id` is pre-assigned. Never calls Finish.
+  /// Stages 0–2 (overload gate, admission, planning). Thread-safe when
+  /// `admit_options.defer_obs` is set, `query.id` is pre-assigned and
+  /// the overload decision is supplied via `pregate`. Never calls
+  /// Finish.
   AdmitOutcome AdmitAndPlan(query::CxtQuery&& query, Client& client,
-                            const QueryTable::AdmitOptions& admit_options);
+                            const QueryTable::AdmitOptions& admit_options,
+                            const OverloadGovernor::Decision* pregate =
+                                nullptr);
   /// Stages 3–4 for an ADMITTED record: facade assignment + activation
   /// (or Finish when nothing could be assigned). Simulation thread only.
-  Result<std::string> ActivateQuery(QueryId qid);
+  Result<std::string> ActivateQuery(QueryId qid,
+                                    const char* note = nullptr);
+  /// Stale-answer-first fast path for a shed-but-warm admission: hands
+  /// the ADMITTED record to the degraded-mode machinery. Simulation
+  /// thread only.
+  Result<std::string> DegradeAtAdmission(const AdmitOutcome& outcome);
 
   DeviceServices services_;
   ContextFactoryConfig config_;
@@ -251,6 +272,7 @@ class ContextFactory {
   // together).
   QueryTable table_;
   StrategyPlanner planner_;
+  OverloadGovernor governor_;
   AdmissionController admission_;
   DeliveryRouter router_;
   FailoverCoordinator coordinator_;

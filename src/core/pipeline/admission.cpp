@@ -23,9 +23,11 @@ void CountAdmissionOutcome(const Status& s) {
 Result<QueryId> AdmissionController::Admit(
     query::CxtQuery& query, Client& client,
     const std::set<RuleAction>& active_actions,
-    const QueryTable::AdmitOptions& table_options) {
-  Result<QueryId> result =
-      DoAdmit(query, client, active_actions, table_options);
+    const QueryTable::AdmitOptions& table_options,
+    const OverloadGovernor::Decision* pregate,
+    OverloadGovernor::Decision* decision_out) {
+  Result<QueryId> result = DoAdmit(query, client, active_actions,
+                                   table_options, pregate, decision_out);
   COBS(CountAdmissionOutcome(result.ok() ? Status::Ok() : result.status()));
   return result;
 }
@@ -33,7 +35,25 @@ Result<QueryId> AdmissionController::Admit(
 Result<QueryId> AdmissionController::DoAdmit(
     query::CxtQuery& query, Client& client,
     const std::set<RuleAction>& active_actions,
-    const QueryTable::AdmitOptions& table_options) {
+    const QueryTable::AdmitOptions& table_options,
+    const OverloadGovernor::Decision* pregate,
+    OverloadGovernor::Decision* decision_out) {
+  // Overload gate, in front of everything: an overloaded factory spends
+  // nothing on a query it is about to shed. Worker-mode batches supply
+  // the decision pre-computed in submission order (the governor's
+  // bucket/hysteresis state is simulation-thread-only).
+  OverloadGovernor::Decision decision;
+  if (pregate != nullptr) {
+    decision = *pregate;
+  } else if (governor_ != nullptr) {
+    decision = governor_->Decide(query, client, active_actions,
+                                 table_.active_count());
+  }
+  if (decision_out != nullptr) *decision_out = decision;
+  if (decision.outcome == OverloadGovernor::Decision::Outcome::kShed) {
+    return decision.status;
+  }
+
   if (const Status s = query.Validate(); !s.ok()) return s;
   if (query.id.empty()) {
     // Simulation thread only: the id generator is not synchronized.

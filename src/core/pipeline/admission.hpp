@@ -1,9 +1,10 @@
 // Admission (pipeline stage 1 of 4).
 //
 // Everything that can reject a query before any provisioning work
-// happens: structural validation, id assignment, AccessController
-// screening of the FROM sources, and control-policy gates. A query that
-// passes is registered in the QueryTable in state ADMITTED.
+// happens: the OverloadGovernor gate (rate limiting + load shedding),
+// structural validation, id assignment, AccessController screening of
+// the FROM sources, and control-policy gates. A query that passes is
+// registered in the QueryTable in state ADMITTED.
 #pragma once
 
 #include <set>
@@ -11,6 +12,7 @@
 #include "common/status.hpp"
 #include "core/access_controller.hpp"
 #include "core/client.hpp"
+#include "core/pipeline/overload_governor.hpp"
 #include "core/pipeline/sharded_query_table.hpp"
 #include "core/query/query.hpp"
 #include "core/rules.hpp"
@@ -20,30 +22,47 @@ namespace contory::core {
 
 class AdmissionController {
  public:
+  /// `governor` may be null (no overload protection; tests that build
+  /// the stage in isolation).
   AdmissionController(sim::Simulation& sim, AccessController& access,
-                      QueryTable& table)
-      : sim_(sim), access_(access), table_(table) {}
+                      QueryTable& table,
+                      OverloadGovernor* governor = nullptr)
+      : sim_(sim), access_(access), table_(table), governor_(governor) {}
 
   /// Validates `query`, assigns an id when it has none, applies the
-  /// access-control and policy gates, and registers the lifecycle record.
-  /// On error nothing is registered; on success the returned dense id
-  /// (and `query.id`) name the ADMITTED record.
+  /// overload, access-control and policy gates, and registers the
+  /// lifecycle record. On error nothing is registered; on success the
+  /// returned dense id (and `query.id`) name the ADMITTED record.
+  ///
+  /// The governor gate runs first. On the live path the decision is
+  /// computed here; worker-mode batches pre-gate on the simulation
+  /// thread (the governor is not thread-safe) and pass the decision in
+  /// through `pregate`. A non-null `decision_out` receives whichever
+  /// decision applied, so the caller can route kDegrade records to the
+  /// stale fast path.
   ///
   /// Thread-safe when `table_options.defer_obs` is set AND `query.id` is
-  /// already assigned (the id generator and clock live on the simulation
-  /// thread; the PipelineExecutor pre-assigns ids before fanning out).
+  /// already assigned AND the gate decision is pre-computed (the id
+  /// generator, the clock and the governor live on the simulation
+  /// thread; the PipelineExecutor pre-assigns all three before fanning
+  /// out).
   Result<QueryId> Admit(query::CxtQuery& query, Client& client,
                         const std::set<RuleAction>& active_actions,
-                        const QueryTable::AdmitOptions& table_options = {});
+                        const QueryTable::AdmitOptions& table_options = {},
+                        const OverloadGovernor::Decision* pregate = nullptr,
+                        OverloadGovernor::Decision* decision_out = nullptr);
 
  private:
   Result<QueryId> DoAdmit(query::CxtQuery& query, Client& client,
                           const std::set<RuleAction>& active_actions,
-                          const QueryTable::AdmitOptions& table_options);
+                          const QueryTable::AdmitOptions& table_options,
+                          const OverloadGovernor::Decision* pregate,
+                          OverloadGovernor::Decision* decision_out);
 
   sim::Simulation& sim_;
   AccessController& access_;
   QueryTable& table_;
+  OverloadGovernor* governor_;
 };
 
 }  // namespace contory::core

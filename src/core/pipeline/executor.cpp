@@ -37,6 +37,14 @@ void PipelineExecutor::Run(std::size_t count, const FrontFn& front,
           while (!ring.TryPush(static_cast<std::uint64_t>(i))) {
             std::this_thread::yield();
           }
+          // Sample the depth after our own push lands; atomic-max keeps
+          // the deepest observation across all producers.
+          const std::size_t depth = ring.size();
+          std::size_t seen = ring_high_.load(std::memory_order_relaxed);
+          while (depth > seen &&
+                 !ring_high_.compare_exchange_weak(
+                     seen, depth, std::memory_order_relaxed)) {
+          }
         }
       }
       workers_done.fetch_add(1, std::memory_order_release);

@@ -26,6 +26,7 @@
 // per-index inputs/outcomes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -60,8 +61,17 @@ class PipelineExecutor {
     return options_.workers;
   }
 
+  /// Deepest the admitted-index ring ever got during Run (0 in
+  /// deterministic mode — the ring is never built). An approximate
+  /// sample — each producer reads size() right after its own push — but
+  /// tight enough to tune ring_capacity and spot back-pressure.
+  [[nodiscard]] std::size_t ring_high_watermark() const noexcept {
+    return ring_high_.load(std::memory_order_relaxed);
+  }
+
  private:
   PipelineExecutorOptions options_;
+  std::atomic<std::size_t> ring_high_{0};
 };
 
 }  // namespace contory::core

@@ -48,6 +48,12 @@ void FailoverCoordinator::DropQuery(const std::string& query_id) {
   degraded_tasks_.erase(query_id);
 }
 
+bool FailoverCoordinator::DegradeAtAdmission(QueryRecord& record,
+                                             const Status& cause) {
+  if (!config_.enable_degraded_mode) return false;
+  return EnterDegradedMode(record, cause);
+}
+
 void FailoverCoordinator::OnFacadeFinished(query::SourceSel kind,
                                            const std::string& query_id,
                                            const Status& status) {

@@ -75,6 +75,15 @@ class FailoverCoordinator {
   /// logging a completion (the caller finishes the record).
   void DropQuery(const std::string& query_id);
 
+  /// Admission-time stale fast path (OverloadGovernor): moves a freshly
+  /// ADMITTED record straight into degraded mode — one stale answer and
+  /// done for on-demand queries, degraded polling plus recovery probes
+  /// for the rest. Returns false when the repository has nothing left
+  /// to serve (the caller falls back to the shed refusal). Requires
+  /// degraded mode to be enabled; the record's root span must already
+  /// be materialized.
+  bool DegradeAtAdmission(QueryRecord& record, const Status& cause);
+
   [[nodiscard]] const std::vector<SwitchEvent>& switch_log() const noexcept {
     return switch_log_;
   }

@@ -276,7 +276,10 @@ bool ShardedQueryTable::ValidEdge(QueryState from, QueryState to) noexcept {
     case QueryState::kFailingOver:
       return from == QueryState::kActive;
     case QueryState::kDegraded:
-      return from == QueryState::kFailingOver;
+      // Failover exhaustion, or the admission-time stale fast path
+      // (OverloadGovernor shed with a warm repository).
+      return from == QueryState::kFailingOver ||
+             from == QueryState::kAdmitted;
     case QueryState::kDone:
       return true;  // any live state may finish (cancel, expiry, error)
   }
@@ -340,6 +343,11 @@ void ShardedQueryTable::FinishById(QueryId qid) {
       completions_.pop_front();
       ++completions_dropped_;
     }
+    COBS({
+      static obs::Gauge& dropped = obs::Observability::metrics().GetGauge(
+          "completion_log_dropped");
+      dropped.Set(static_cast<double>(completions_dropped_));
+    });
   }
 }
 

@@ -14,10 +14,10 @@
 //           |      recovery |   \ cancel/expiry   | nothing left,
 //           |               v    v                v repository warm
 //           |            DEGRADED ------------> DONE <---- (any state,
-//           +---------------------------------->  ^         cancel)
-//                no mechanism at admission        |
-//                                                 terminal; the record is
-//                                                 erased and a Completion
+//           +--------------^                      ^         cancel)
+//            shed at admission,                   |
+//            stale fast path                      terminal; the record is
+//            (OverloadGovernor)                   erased and a Completion
 //                                                 is logged exactly once
 //
 // Invariant (tested): every admitted query reaches DONE exactly once, no

@@ -7,10 +7,11 @@
 namespace contory::query {
 namespace {
 
-constexpr std::array<const char*, 15> kKeywords = {
+constexpr std::array<const char*, 16> kKeywords = {
     "SELECT", "FROM",  "WHERE", "FRESHNESS", "DURATION",
     "EVERY",  "EVENT", "AND",   "OR",        "NOT",
-    "AVG",    "MIN",   "MAX",   "COUNT",     "SUM"};
+    "AVG",    "MIN",   "MAX",   "COUNT",     "SUM",
+    "PRIORITY"};
 
 std::string ToUpper(std::string_view s) {
   std::string out{s};

@@ -66,6 +66,20 @@ class Parser {
       if (!p.ok()) return p.status();
       q.event = *std::move(p);
     }
+    if (Accept(TokenKind::kKeyword, "PRIORITY")) {
+      auto level = ExpectIdentifier("priority class");
+      if (!level.ok()) return level.status();
+      const std::string lower = Lower(*level);
+      if (lower == "interactive") {
+        q.priority = QueryPriority::kInteractive;
+      } else if (lower == "standard") {
+        q.priority = QueryPriority::kStandard;
+      } else if (lower == "background") {
+        q.priority = QueryPriority::kBackground;
+      } else {
+        return Error("unknown priority class '" + *level + "'");
+      }
+    }
     if (Peek().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input");
     }

@@ -141,6 +141,15 @@ Result<std::optional<SimDuration>> DecodeOptionalDuration(ByteReader& r) {
 
 }  // namespace
 
+const char* QueryPriorityName(QueryPriority p) noexcept {
+  switch (p) {
+    case QueryPriority::kInteractive: return "interactive";
+    case QueryPriority::kStandard: return "standard";
+    case QueryPriority::kBackground: return "background";
+  }
+  return "?";
+}
+
 Status CxtQuery::Validate() const {
   if (select_type.empty()) {
     return InvalidArgument("SELECT clause is mandatory");
@@ -197,6 +206,9 @@ std::string CxtQuery::ToString() const {
   out += "\nDURATION " + duration.ToString();
   if (every.has_value()) out += "\nEVERY " + FormatDuration(*every);
   if (event.has_value()) out += "\nEVENT " + event->ToString();
+  if (priority != QueryPriority::kStandard) {
+    out += std::string("\nPRIORITY ") + QueryPriorityName(priority);
+  }
   return out;
 }
 
@@ -219,6 +231,7 @@ std::vector<std::byte> CxtQuery::Serialize() const {
   EncodeOptionalDuration(w, every);
   w.WriteBool(event.has_value());
   if (event.has_value()) EncodePredicate(w, *event);
+  w.WriteU8(static_cast<std::uint8_t>(priority));
   // Pad small queries up to the prototype's 205-byte object.
   if (w.size() + 4 < kQueryEnvelopeBytes) {
     const auto pad =
@@ -278,6 +291,12 @@ Result<CxtQuery> CxtQuery::Deserialize(const std::vector<std::byte>& wire) {
     if (!p.ok()) return p.status();
     q.event = *std::move(p);
   }
+  const auto prio = r.ReadU8();
+  if (!prio.ok()) return prio.status();
+  if (*prio > static_cast<std::uint8_t>(QueryPriority::kBackground)) {
+    return InvalidArgument("bad priority class");
+  }
+  q.priority = static_cast<QueryPriority>(*prio);
   const auto pad = r.ReadU32();
   if (!pad.ok()) return pad.status();
   if (auto s = r.Skip(*pad); !s.ok()) return s;
@@ -392,6 +411,11 @@ QueryBuilder& QueryBuilder::EventAggregate(AggregateFn fn, std::string type,
   c.op = op;
   c.literal = threshold;
   return Event(Predicate::Leaf(std::move(c)));
+}
+
+QueryBuilder& QueryBuilder::Priority(QueryPriority p) {
+  q_.priority = p;
+  return *this;
 }
 
 CxtQuery QueryBuilder::Build() const {

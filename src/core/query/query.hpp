@@ -14,6 +14,19 @@
 
 namespace contory::query {
 
+/// Admission priority class (PRIORITY clause). Under overload the
+/// OverloadGovernor sheds background first, then standard; interactive
+/// traffic keeps admitting. The planner sees the class through the query
+/// record it plans.
+enum class QueryPriority : std::uint8_t {
+  kInteractive = 0,
+  kStandard = 1,  // the default: unannotated queries
+  kBackground = 2,
+};
+
+/// "interactive" / "standard" / "background".
+[[nodiscard]] const char* QueryPriorityName(QueryPriority p) noexcept;
+
 struct CxtQuery {
   /// Unique query id, assigned on submission ("a unique identifier is
   /// associated with each query").
@@ -25,6 +38,7 @@ struct CxtQuery {
   DurationClause duration;              // DURATION (mandatory)
   std::optional<SimDuration> every;     // EVERY  } mutually
   std::optional<Predicate> event;       // EVENT  } exclusive
+  QueryPriority priority = QueryPriority::kStandard;  // PRIORITY (optional)
 
   [[nodiscard]] InteractionMode mode() const noexcept {
     if (every.has_value()) return InteractionMode::kPeriodic;
@@ -86,6 +100,7 @@ class QueryBuilder {
   QueryBuilder& Event(Predicate p);
   QueryBuilder& EventAggregate(AggregateFn fn, std::string type,
                                CompareOp op, double threshold);
+  QueryBuilder& Priority(QueryPriority p);
 
   /// Validates and returns the query. Throws std::invalid_argument on a
   /// structurally invalid combination (programming error).

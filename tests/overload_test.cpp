@@ -1,0 +1,598 @@
+// OverloadGovernor tests: the admission-side overload-protection tier.
+// Per-client token buckets (sim-clock deterministic), 3-level priority
+// shedding with watermark hysteresis, the reduceLoad rule hook, the
+// stale-answer fast path into degraded mode, and the worker-mode
+// pre-gating equivalence (identical shed decisions for workers 0/2/4),
+// up to 100k submits under shedding with a coherent lifecycle ledger.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/contory.hpp"
+#include "obs/observability.hpp"
+#include "testbed/testbed.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A temperature query of the given class; periodic unless on_demand.
+query::CxtQuery TempQuery(sim::Simulation& sim, query::QueryPriority cls,
+                          bool on_demand = false) {
+  auto builder = query::QueryBuilder(vocab::kTemperature);
+  builder.FromIntSensor().For(60min).Priority(cls);
+  if (!on_demand) builder.Every(1min);
+  auto q = builder.Build();
+  q.id = sim.ids().NextId("q");
+  return q;
+}
+
+testbed::DeviceOptions GovernedOptions() {
+  testbed::DeviceOptions opts;
+  opts.with_bt = false;
+  opts.with_cellular = false;
+  opts.internal_sensors = {vocab::kTemperature};
+  // These tests count occupancy query-by-query; merged records would
+  // fold identical SELECTs into one.
+  opts.factory_config.enable_query_merging = false;
+  return opts;
+}
+
+CxtItem WarmItem(sim::Simulation& sim, const std::string& type) {
+  CxtItem item;
+  item.id = sim.ids().NextId("seed");
+  item.type = type;
+  item.value = CxtValue(21.5);
+  item.timestamp = sim.Now();
+  item.source = {SourceKind::kIntSensor, "seed"};
+  return item;
+}
+
+class OverloadWorldTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Observability::ResetForTest(); }
+  void TearDown() override { obs::Observability::ResetForTest(); }
+};
+
+// --- Query-language surface -------------------------------------------------
+
+TEST(OverloadQueryTest, PriorityClauseParsesPrintsAndSerializes) {
+  auto q = query::ParseQuery(
+      "SELECT temperature FROM intSensor DURATION 5 min EVERY 1 min "
+      "PRIORITY interactive");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->priority, query::QueryPriority::kInteractive);
+
+  // Unannotated queries default to standard, and standard stays silent
+  // in the textual form (old round-trips unchanged).
+  auto plain = query::ParseQuery(
+      "SELECT temperature FROM intSensor DURATION 5 min EVERY 1 min");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->priority, query::QueryPriority::kStandard);
+  EXPECT_EQ(plain->ToString().find("PRIORITY"), std::string::npos);
+
+  // ToString round-trip keeps the class.
+  const std::string text = q->ToString();
+  EXPECT_NE(text.find("PRIORITY interactive"), std::string::npos);
+  auto reparsed = query::ParseQuery(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->priority, query::QueryPriority::kInteractive);
+
+  // Wire round-trip keeps the class.
+  q->id = "q-1";
+  auto wire = q->Serialize();
+  auto decoded = query::CxtQuery::Deserialize(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->priority, query::QueryPriority::kInteractive);
+
+  EXPECT_FALSE(query::ParseQuery(
+                   "SELECT temperature FROM intSensor DURATION 5 min "
+                   "EVERY 1 min PRIORITY urgent")
+                   .ok());
+}
+
+TEST(OverloadQueryTest, BuilderSetsPriority) {
+  const auto q = query::QueryBuilder(vocab::kTemperature)
+                     .FromIntSensor()
+                     .For(5min)
+                     .Every(1min)
+                     .Priority(query::QueryPriority::kBackground)
+                     .Build();
+  EXPECT_EQ(q.priority, query::QueryPriority::kBackground);
+}
+
+// --- Token buckets ----------------------------------------------------------
+
+TEST_F(OverloadWorldTest, TokenBucketRefillIsDeterministicAcrossSeeds) {
+  std::vector<double> hints;
+  for (const unsigned seed : {41u, 4242u}) {
+    testbed::World world{seed};
+    testbed::DeviceOptions opts = GovernedOptions();
+    opts.factory_config.overload.admit_rate_per_s = 1.0;
+    opts.factory_config.overload.admit_burst = 2.0;
+    auto& device = world.AddDevice(opts);
+    core::CollectingClient client;
+
+    // Burst of two admits, then the bucket is dry.
+    ASSERT_TRUE(device.contory()
+                    .ProcessCxtQuery(
+                        TempQuery(world.sim(),
+                                  query::QueryPriority::kStandard),
+                        client)
+                    .ok());
+    ASSERT_TRUE(device.contory()
+                    .ProcessCxtQuery(
+                        TempQuery(world.sim(),
+                                  query::QueryPriority::kStandard),
+                        client)
+                    .ok());
+    const auto refused = device.contory().ProcessCxtQuery(
+        TempQuery(world.sim(), query::QueryPriority::kStandard), client);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+    const double hint = core::OverloadGovernor::ParseRetryAfterSeconds(
+        refused.status().message());
+    EXPECT_GT(hint, 0.0);
+    hints.push_back(hint);
+    EXPECT_LT(device.contory().overload().TokensFor(client), 1.0);
+
+    // Sim time is the only refill source: waiting out the hint restores
+    // exactly enough budget for one more admission.
+    world.RunFor(std::chrono::duration_cast<SimDuration>(
+        std::chrono::duration<double>(hint)));
+    EXPECT_TRUE(device.contory()
+                    .ProcessCxtQuery(
+                        TempQuery(world.sim(),
+                                  query::QueryPriority::kStandard),
+                        client)
+                    .ok());
+  }
+  ASSERT_EQ(hints.size(), 2u);
+  EXPECT_DOUBLE_EQ(hints[0], hints[1]);  // seed-independent
+}
+
+TEST_F(OverloadWorldTest, RateLimitedClientDoesNotStarveOthers) {
+  testbed::World world{42};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.admit_rate_per_s = 1.0;
+  opts.factory_config.overload.admit_burst = 1.0;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient noisy;
+  core::CollectingClient quiet;
+
+  ASSERT_TRUE(device.contory()
+                  .ProcessCxtQuery(
+                      TempQuery(world.sim(),
+                                query::QueryPriority::kStandard),
+                      noisy)
+                  .ok());
+  const auto refused = device.contory().ProcessCxtQuery(
+      TempQuery(world.sim(), query::QueryPriority::kStandard), noisy);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(refused.status().message().find("budget exhausted"),
+            std::string::npos);
+
+  // The noisy client drained only its own bucket.
+  EXPECT_TRUE(device.contory()
+                  .ProcessCxtQuery(
+                      TempQuery(world.sim(),
+                                query::QueryPriority::kStandard),
+                      quiet)
+                  .ok());
+}
+
+// --- Watermark shedding -----------------------------------------------------
+
+TEST_F(OverloadWorldTest, WatermarksShedBackgroundThenStandardNeverInteractive) {
+  testbed::World world{43};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.shed_high_watermark = 4;
+  opts.factory_config.overload.shed_standard_watermark = 8;
+  opts.factory_config.overload.stale_fast_path = false;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  const auto submit = [&](query::QueryPriority cls) {
+    return factory.ProcessCxtQuery(TempQuery(world.sim(), cls), client);
+  };
+
+  // Below the high watermark everything admits.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(submit(query::QueryPriority::kBackground).ok());
+  }
+  // Occupancy 4 >= high: background sheds, standard and interactive pass.
+  const auto bg = submit(query::QueryPriority::kBackground);
+  ASSERT_FALSE(bg.ok());
+  EXPECT_EQ(bg.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(bg.status().message().find("background"), std::string::npos);
+  EXPECT_NE(bg.status().message().find("retry after"), std::string::npos);
+  EXPECT_TRUE(submit(query::QueryPriority::kStandard).ok());
+  EXPECT_TRUE(submit(query::QueryPriority::kInteractive).ok());
+
+  // Grow occupancy to the standard watermark: standard sheds too.
+  while (factory.queries().active_count() < 8) {
+    ASSERT_TRUE(submit(query::QueryPriority::kStandard).ok());
+  }
+  const auto std_refused = submit(query::QueryPriority::kStandard);
+  ASSERT_FALSE(std_refused.ok());
+  EXPECT_EQ(std_refused.status().code(), StatusCode::kOverloaded);
+  // Interactive always admits.
+  EXPECT_TRUE(submit(query::QueryPriority::kInteractive).ok());
+
+  if (COBS_ON()) {
+    auto& metrics = obs::Observability::metrics();
+    EXPECT_GE(metrics
+                  .GetCounter("admission_shed_total",
+                              {{"class", "background"}})
+                  .value(),
+              1u);
+    EXPECT_GE(metrics
+                  .GetCounter("admission_shed_total", {{"class", "standard"}})
+                  .value(),
+              1u);
+    EXPECT_EQ(metrics
+                  .GetCounter("admission_shed_total",
+                              {{"class", "interactive"}})
+                  .value(),
+              0u);
+  }
+}
+
+TEST_F(OverloadWorldTest, ShedClearsBelowLowWatermarkAndRetrySucceeds) {
+  testbed::World world{44};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.shed_high_watermark = 2;  // low defaults to 1
+  opts.factory_config.overload.stale_fast_path = false;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < 2; ++i) {
+    const auto id = factory.ProcessCxtQuery(
+        TempQuery(world.sim(), query::QueryPriority::kStandard), client);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const auto refused = factory.ProcessCxtQuery(
+      TempQuery(world.sim(), query::QueryPriority::kBackground), client);
+  ASSERT_FALSE(refused.ok());
+  const double hint = core::OverloadGovernor::ParseRetryAfterSeconds(
+      refused.status().message());
+  EXPECT_GT(hint, 0.0);
+
+  // Hysteresis: while occupancy sits between the low and high watermark
+  // background stays shed; only falling below low clears the level.
+  factory.CancelCxtQuery(ids[0]);
+  ASSERT_FALSE(factory
+                   .ProcessCxtQuery(TempQuery(world.sim(),
+                                              query::QueryPriority::
+                                                  kBackground),
+                                    client)
+                   .ok());
+  factory.CancelCxtQuery(ids[1]);
+  world.RunFor(std::chrono::duration_cast<SimDuration>(
+      std::chrono::duration<double>(hint)));
+  EXPECT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kBackground),
+                                   client)
+                  .ok());
+}
+
+TEST_F(OverloadWorldTest, ReduceLoadRuleShedsBackgroundAdmissions) {
+  testbed::World world{45};
+  testbed::DeviceOptions opts = GovernedOptions();  // watermarks unarmed
+  // The live sensor warms the repository immediately; force refusals so
+  // the rule's shed is visible as a typed error.
+  opts.factory_config.overload.stale_fast_path = false;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  // Unarmed governor: background admits freely.
+  ASSERT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kBackground),
+                                   client)
+                  .ok());
+
+  core::ContextRule rule;
+  rule.name = "always-reduce-load";
+  rule.condition = core::RuleExpr::Leaf(
+      {"batteryPercent", core::RuleOp::kLessThan, CxtValue{101.0}});
+  rule.action = core::RuleAction::kReduceLoad;
+  factory.AddControlPolicy(rule);
+  world.RunFor(6s);  // one policy-evaluation period
+  ASSERT_TRUE(factory.active_actions().contains(
+      core::RuleAction::kReduceLoad));
+
+  const auto refused = factory.ProcessCxtQuery(
+      TempQuery(world.sim(), query::QueryPriority::kBackground), client);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kStandard),
+                                   client)
+                  .ok());
+  EXPECT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kInteractive),
+                                   client)
+                  .ok());
+}
+
+// --- Stale-answer fast path -------------------------------------------------
+
+TEST_F(OverloadWorldTest, StaleFastPathServesWarmRepositoryWithStaleness) {
+  testbed::World world{46};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.shed_high_watermark = 1;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  factory.repository().Store(WarmItem(world.sim(), vocab::kTemperature));
+  ASSERT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kStandard),
+                                   client)
+                  .ok());
+  world.RunFor(10s);  // age the repository entry (still < 30 s max age)
+
+  // A shed on-demand background query with a warm repository entry is
+  // answered stale-first instead of refused: one delivery, staleness
+  // metadata set, record finished on the spot.
+  const std::size_t live_before = factory.queries().active_count();
+  const std::size_t items_before = client.items.size();
+  const auto id = factory.ProcessCxtQuery(
+      TempQuery(world.sim(), query::QueryPriority::kBackground,
+                /*on_demand=*/true),
+      client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(factory.queries().active_count(), live_before);
+  ASSERT_GT(client.items.size(), items_before);
+  const CxtItem& answer = client.items.back();
+  EXPECT_EQ(answer.type, vocab::kTemperature);
+  ASSERT_TRUE(answer.metadata.staleness_seconds.has_value());
+  EXPECT_GT(*answer.metadata.staleness_seconds, 0.0);
+  EXPECT_GE(factory.degraded_deliveries(), 1u);
+
+  if (COBS_ON()) {
+    auto& metrics = obs::Observability::metrics();
+    EXPECT_EQ(
+        metrics.GetCounter("admission_stale_fastpath_total").value(), 1u);
+    // The root span carries the shed-decision annotation.
+    bool noted = false;
+    for (const auto& span :
+         obs::Observability::tracer().FinishedFor(*id)) {
+      for (const auto& note : span.notes) {
+        if (note == "shed:stale-fastpath") noted = true;
+      }
+    }
+    EXPECT_TRUE(noted);
+  }
+}
+
+TEST_F(OverloadWorldTest, StaleFastPathKeepsPeriodicQueriesDegraded) {
+  testbed::World world{47};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.shed_high_watermark = 1;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  factory.repository().Store(WarmItem(world.sim(), vocab::kTemperature));
+  ASSERT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kStandard),
+                                   client)
+                  .ok());
+
+  const auto id = factory.ProcessCxtQuery(
+      TempQuery(world.sim(), query::QueryPriority::kBackground), client);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(factory.IsDegraded(*id));
+  EXPECT_GE(factory.degraded_deliveries(), 1u);
+
+  // The record entered through the degraded door but the sensor is
+  // live, so the standard recovery probe pulls it back to real
+  // provisioning — degraded-at-admission is a full failover citizen.
+  const std::size_t items_before = client.items.size();
+  world.RunFor(3min);
+  EXPECT_FALSE(factory.IsDegraded(*id));
+  EXPECT_GT(client.items.size(), items_before);
+  factory.CancelCxtQuery(*id);
+}
+
+TEST_F(OverloadWorldTest, ColdTypesAreRefusedNotDegraded) {
+  testbed::World world{48};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.overload.shed_high_watermark = 1;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  ASSERT_TRUE(factory
+                  .ProcessCxtQuery(TempQuery(world.sim(),
+                                             query::QueryPriority::
+                                                 kStandard),
+                                   client)
+                  .ok());
+  // "humidity" has no repository entry (only the temperature sensor is
+  // warming the cache), so this shed must stay a refusal.
+  auto cold = query::QueryBuilder("humidity")
+                  .FromIntSensor()
+                  .For(60min)
+                  .Every(1min)
+                  .Priority(query::QueryPriority::kBackground)
+                  .Build();
+  cold.id = world.sim().ids().NextId("q");
+  const auto refused = factory.ProcessCxtQuery(std::move(cold), client);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(factory.degraded_deliveries(), 0u);
+}
+
+// --- Worker-mode equivalence ------------------------------------------------
+
+std::vector<query::CxtQuery> MixedBatch(sim::Simulation& sim, int n) {
+  std::vector<query::CxtQuery> batch;
+  batch.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const auto cls = static_cast<query::QueryPriority>(
+        i % 5 == 0 ? 0 : (i % 5 <= 2 ? 1 : 2));
+    // Every tenth query is an on-demand background query against the
+    // warm type: its shed takes the stale fast path and finishes
+    // immediately, exercising the projected-occupancy accounting.
+    const bool warm = i % 10 == 3;
+    batch.push_back(TempQuery(sim, warm ? query::QueryPriority::kBackground
+                                        : cls,
+                              /*on_demand=*/warm));
+  }
+  return batch;
+}
+
+/// Runs the mixed batch across workers {0, 2, 4} and asserts the shed
+/// decisions (admit/refuse pattern, ids, ledger) are identical to the
+/// deterministic baseline. With the stale fast path on, every shed of
+/// the warm type degrades instead of refusing — that run exercises the
+/// projected-occupancy accounting for degrades (periodic ones stay
+/// live, on-demand ones finish immediately); with it off, sheds are
+/// refusals and the refusal pattern itself must replay.
+void CheckWorkerEquivalence(bool stale_fast_path) {
+  constexpr int kN = 200;
+  std::string baseline_signature;
+  std::set<std::string> baseline_ids;
+  std::uint64_t baseline_admitted = 0;
+
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{4}}) {
+    testbed::World world{808};
+    testbed::DeviceOptions opts = GovernedOptions();
+    opts.factory_config.overload.shed_high_watermark = 30;
+    opts.factory_config.overload.shed_standard_watermark = 60;
+    opts.factory_config.overload.stale_fast_path = stale_fast_path;
+    auto& device = world.AddDevice(opts);
+    core::CollectingClient client;
+    auto& factory = device.contory();
+    factory.repository().Store(WarmItem(world.sim(), vocab::kTemperature));
+
+    const auto results = factory.ProcessCxtQueryBatch(
+        MixedBatch(world.sim(), kN), client,
+        core::ContextFactory::BatchOptions{.workers = workers});
+    ASSERT_EQ(results.size(), static_cast<std::size_t>(kN));
+
+    std::string signature;
+    std::set<std::string> ids;
+    for (const auto& r : results) {
+      if (r.ok()) {
+        signature += 'a';
+        ids.insert(*r);
+      } else {
+        ASSERT_EQ(r.status().code(), StatusCode::kOverloaded)
+            << r.status().ToString();
+        signature += 's';
+      }
+    }
+    EXPECT_EQ(factory.queries().invalid_transitions(), 0u);
+    EXPECT_EQ(factory.queries().total_admitted(),
+              factory.queries().total_completed() +
+                  factory.queries().active_count());
+
+    if (workers == 0) {
+      baseline_signature = signature;
+      baseline_ids = ids;
+      baseline_admitted = factory.queries().total_admitted();
+      if (!stale_fast_path) {
+        // The mix must actually refuse something or this run is vacuous.
+        EXPECT_NE(signature.find('s'), std::string::npos);
+      } else {
+        EXPECT_GE(factory.degraded_deliveries(), 1u);
+      }
+    } else {
+      // Pre-gating replays the deterministic decisions: identical
+      // admit/shed pattern per index, identical ids, identical ledger.
+      EXPECT_EQ(signature, baseline_signature) << "workers=" << workers;
+      EXPECT_EQ(ids, baseline_ids) << "workers=" << workers;
+      EXPECT_EQ(factory.queries().total_admitted(), baseline_admitted);
+    }
+  }
+}
+
+TEST_F(OverloadWorldTest, WorkerModeRefusalsMatchDeterministic) {
+  CheckWorkerEquivalence(/*stale_fast_path=*/false);
+}
+
+TEST_F(OverloadWorldTest, WorkerModeDegradesMatchDeterministic) {
+  CheckWorkerEquivalence(/*stale_fast_path=*/true);
+}
+
+// The acceptance-scale run: 100k mixed-priority submits against armed
+// watermarks through the worker path — the lifecycle ledger must stay
+// coherent and no span may leak.
+TEST_F(OverloadWorldTest, HundredKSubmitsUnderSheddingStayCoherent) {
+  constexpr int kN = 100'000;
+  testbed::World world{909};
+  testbed::DeviceOptions opts = GovernedOptions();
+  opts.factory_config.table_shards = 16;
+  opts.factory_config.overload.shed_high_watermark = 20'000;
+  opts.factory_config.overload.shed_standard_watermark = 50'000;
+  // Refusals, not degrades: with the live sensor warming the repository
+  // the fast path would admit everything and shed nothing.
+  opts.factory_config.overload.stale_fast_path = false;
+  auto& device = world.AddDevice(opts);
+  core::CollectingClient client;
+  auto& factory = device.contory();
+
+  const auto results = factory.ProcessCxtQueryBatch(
+      MixedBatch(world.sim(), kN), client,
+      core::ContextFactory::BatchOptions{.workers = 2});
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kN));
+
+  std::vector<std::string> ids;
+  std::size_t shed = 0;
+  for (int i = 0; i < kN; ++i) {
+    const auto& r = results[i];
+    if (r.ok()) {
+      ids.push_back(*r);
+    } else {
+      ASSERT_EQ(r.status().code(), StatusCode::kOverloaded)
+          << r.status().ToString();
+      // Interactive (every 5th index, unless warm-overridden) never
+      // sheds.
+      ASSERT_NE(i % 5, 0) << "interactive query shed at index " << i;
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+
+  const core::QueryTable& table = factory.queries();
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_EQ(table.total_admitted(),
+            table.total_completed() + table.active_count());
+
+  for (const auto& id : ids) factory.CancelCxtQuery(id);
+  EXPECT_EQ(table.active_count(), 0u);
+  EXPECT_EQ(table.invalid_transitions(), 0u);
+  EXPECT_EQ(table.total_admitted(), table.total_completed());
+  if (COBS_ON()) {
+    EXPECT_EQ(obs::Observability::tracer().open_count(), 0u);
+    EXPECT_EQ(obs::Observability::tracer().double_closes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace contory

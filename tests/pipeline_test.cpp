@@ -290,8 +290,10 @@ TEST_F(ShardedTableTest, InvalidTransitionIsRefusedAndCounted) {
   ASSERT_TRUE(r.ok());
   core::QueryRecord* record = table_.FindById(*r);
   ASSERT_NE(record, nullptr);
-  // ADMITTED -> DEGRADED skips FAILING_OVER: not a legal edge.
-  EXPECT_FALSE(table_.Transition(*record, core::QueryState::kDegraded));
+  // ADMITTED -> FAILING_OVER: failover only leaves ACTIVE, so the edge
+  // is illegal (ADMITTED -> DEGRADED, by contrast, is the overload
+  // governor's stale fast path).
+  EXPECT_FALSE(table_.Transition(*record, core::QueryState::kFailingOver));
   EXPECT_EQ(record->state, core::QueryState::kAdmitted);
   EXPECT_EQ(table_.invalid_transitions(), 1u);
   EXPECT_TRUE(table_.Transition(*record, core::QueryState::kActive));
