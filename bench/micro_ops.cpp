@@ -5,9 +5,13 @@
 // real port.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <thread>
+#include <vector>
 
 #include "common/ring.hpp"
+#include "common/rng.hpp"
+#include "net/medium.hpp"
 #include "core/contory.hpp"
 #include "core/pipeline/sharded_query_table.hpp"
 #include "obs/observability.hpp"
@@ -284,6 +288,68 @@ void BM_ShardedTableFindById(benchmark::State& state) {
   obs::Observability::Enable(true);
 }
 BENCHMARK(BM_ShardedTableFindById)->Arg(1)->Arg(16)->Arg(64);
+
+// Uniform scatter at constant density (side = 100 * sqrt(n), the city
+// default), WiFi-range cell size — the layout the city sweep queries.
+void ScatterCity(net::Medium& medium, std::int64_t n,
+                 std::vector<net::NodeId>& ids) {
+  Rng rng{7};
+  const double side = 100.0 * std::sqrt(static_cast<double>(n));
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ids.push_back(medium.Register(
+        "b", {rng.Uniform(0.0, side), rng.Uniform(0.0, side)}));
+  }
+  medium.NoteRadioRange(100.0);
+}
+
+void BM_MediumNodesWithin(benchmark::State& state) {
+  net::Medium medium;
+  std::vector<net::NodeId> ids;
+  ScatterCity(medium, state.range(0), ids);
+  medium.set_use_grid(state.range(1) != 0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto hits = medium.NodesWithin(ids[i], 100.0);
+    benchmark::DoNotOptimize(hits);
+    i = (i + 8191) % ids.size();  // coprime stride: spread cache misses
+  }
+}
+BENCHMARK(BM_MediumNodesWithin)
+    ->ArgNames({"nodes", "grid"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+void BM_MediumSetPositionSameCell(benchmark::State& state) {
+  // The mobility common case: a sub-cell nudge, no migration.
+  net::Medium medium;
+  std::vector<net::NodeId> ids;
+  ScatterCity(medium, 10000, ids);
+  double dx = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(medium.SetPosition(ids[42], {500.0 + dx, 500.0}));
+    dx = -dx;
+  }
+}
+BENCHMARK(BM_MediumSetPositionSameCell);
+
+void BM_MediumSetPositionMigrate(benchmark::State& state) {
+  // Cross-cell move: swap-remove from one cell, append to another.
+  net::Medium medium;
+  std::vector<net::NodeId> ids;
+  ScatterCity(medium, 10000, ids);
+  bool flip = false;
+  for (auto _ : state) {
+    const double x = flip ? 100.0 : 900.0;  // several cells apart
+    benchmark::DoNotOptimize(medium.SetPosition(ids[42], {x, 500.0}));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_MediumSetPositionMigrate);
 
 }  // namespace
 

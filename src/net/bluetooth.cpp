@@ -28,6 +28,8 @@ BluetoothController::BluetoothController(sim::Simulation& sim,
                                          NodeId node, BluetoothConfig config)
     : sim_(sim), bus_(bus), phone_(phone), node_(node), config_(config) {
   bus_.Attach(node_, this);
+  // Feed the medium's spatial index its cell-size derivation hint.
+  bus_.medium().NoteRadioRange(config_.range_m);
 }
 
 BluetoothController::~BluetoothController() { bus_.Detach(node_); }

@@ -3,19 +3,127 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observability.hpp"
+
 namespace contory::net {
+namespace {
+
+/// Cell coordinates are clamped to 32-bit so one u64 key can hold both;
+/// at the 1 m minimum cell size that still spans ±2 billion meters.
+std::int64_t ClampCoord(double v) noexcept {
+  constexpr double kLim = 2'147'483'000.0;
+  const double clamped = std::max(-kLim, std::min(kLim, v));
+  return static_cast<std::int64_t>(std::floor(clamped));
+}
+
+std::uint64_t PackCell(std::int64_t cx, std::int64_t cy) noexcept {
+  const auto ux = static_cast<std::uint64_t>(cx + 0x8000'0000LL);
+  const auto uy = static_cast<std::uint64_t>(cy + 0x8000'0000LL);
+  return (ux << 32) | (uy & 0xffff'ffffULL);
+}
+
+}  // namespace
 
 double Distance(Position a, Position b) noexcept {
   return std::hypot(a.x - b.x, a.y - b.y);
 }
 
+Medium::Medium(MediumOptions options)
+    : use_grid_(options.use_grid),
+      fixed_cell_size_(options.cell_size_m > 0.0) {
+  if (fixed_cell_size_) cell_size_ = options.cell_size_m;
+}
+
+std::uint64_t Medium::CellKeyFor(Position pos) const noexcept {
+  return PackCell(ClampCoord(pos.x / cell_size_),
+                  ClampCoord(pos.y / cell_size_));
+}
+
+void Medium::InsertIntoCell(NodeId id, NodeInfo& info) {
+  info.cell = CellKeyFor(info.pos);
+  std::vector<CellEntry>& entries = cells_[info.cell];
+  info.slot = static_cast<std::uint32_t>(entries.size());
+  entries.push_back(CellEntry{id, info.pos});
+}
+
+void Medium::RemoveFromCell(const NodeInfo& info) {
+  const auto it = cells_.find(info.cell);
+  std::vector<CellEntry>& entries = it->second;
+  const std::uint32_t slot = info.slot;
+  if (slot + 1 != entries.size()) {
+    // Swap-remove: the tail entry changes slots; fix its back-pointer.
+    entries[slot] = entries.back();
+    nodes_.find(entries[slot].id)->second.slot = slot;
+  }
+  entries.pop_back();
+  if (entries.empty()) cells_.erase(it);
+}
+
+void Medium::MaybeResize() {
+  if (fixed_cell_size_ || min_range_ <= 0.0) return;
+  // Geometric mean balances a short-range radio (BT, 10 m) against a
+  // long-range one (WiFi, 100 m): small-range queries stay cheap per
+  // cell, large-range queries touch a bounded number of cells.
+  const double derived =
+      std::clamp(std::sqrt(min_range_ * max_range_), 1.0, 2000.0);
+  if (derived == cell_size_) return;
+  cell_size_ = derived;
+  RebuildGrid();
+}
+
+void Medium::RebuildGrid() {
+  cells_.clear();
+  for (auto& [id, info] : nodes_) InsertIntoCell(id, info);
+  PublishGauges();
+}
+
+void Medium::PublishGauges() const {
+  COBS({
+    static obs::Gauge& cells =
+        obs::Observability::metrics().GetGauge("medium_grid_cells");
+    static obs::Gauge& occupancy =
+        obs::Observability::metrics().GetGauge("medium_grid_occupancy");
+    static obs::Gauge& cell_size =
+        obs::Observability::metrics().GetGauge("medium_grid_cell_size_m");
+    cells.Set(static_cast<double>(cells_.size()));
+    occupancy.Set(mean_cell_occupancy());
+    cell_size.Set(cell_size_);
+  });
+}
+
+double Medium::mean_cell_occupancy() const noexcept {
+  if (cells_.empty()) return 0.0;
+  return static_cast<double>(nodes_.size()) /
+         static_cast<double>(cells_.size());
+}
+
+void Medium::NoteRadioRange(double range_m) {
+  if (range_m <= 0.0) return;
+  if (min_range_ <= 0.0) {
+    min_range_ = max_range_ = range_m;
+  } else {
+    min_range_ = std::min(min_range_, range_m);
+    max_range_ = std::max(max_range_, range_m);
+  }
+  MaybeResize();
+}
+
 NodeId Medium::Register(std::string name, Position pos) {
   const NodeId id = next_id_++;
-  nodes_.emplace(id, NodeInfo{std::move(name), pos});
+  NodeInfo& info =
+      nodes_.emplace(id, NodeInfo{std::move(name), pos, 0, 0}).first->second;
+  InsertIntoCell(id, info);
+  PublishGauges();
   return id;
 }
 
-void Medium::Unregister(NodeId id) { nodes_.erase(id); }
+void Medium::Unregister(NodeId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  RemoveFromCell(it->second);
+  nodes_.erase(it);
+  PublishGauges();
+}
 
 bool Medium::Exists(NodeId id) const noexcept { return nodes_.contains(id); }
 
@@ -40,37 +148,92 @@ Status Medium::SetPosition(NodeId id, Position pos) {
   if (it == nodes_.end()) {
     return NotFound("node " + std::to_string(id) + " not registered");
   }
-  it->second.pos = pos;
+  NodeInfo& info = it->second;
+  info.pos = pos;
+  const std::uint64_t new_cell = CellKeyFor(pos);
+  if (new_cell == info.cell) {
+    cells_.find(info.cell)->second[info.slot].pos = pos;
+    return Status::Ok();
+  }
+  RemoveFromCell(info);
+  InsertIntoCell(id, info);
   return Status::Ok();
 }
 
 Result<double> Medium::DistanceBetween(NodeId a, NodeId b) const {
-  const auto pa = GetPosition(a);
-  if (!pa.ok()) return pa.status();
-  const auto pb = GetPosition(b);
-  if (!pb.ok()) return pb.status();
-  return Distance(*pa, *pb);
+  const auto ia = nodes_.find(a);
+  if (ia == nodes_.end()) {
+    return NotFound("node " + std::to_string(a) + " not registered");
+  }
+  const auto ib = nodes_.find(b);
+  if (ib == nodes_.end()) {
+    return NotFound("node " + std::to_string(b) + " not registered");
+  }
+  return Distance(ia->second.pos, ib->second.pos);
 }
 
 bool Medium::InRange(NodeId a, NodeId b, double range_m) const {
-  const auto d = DistanceBetween(a, b);
-  return d.ok() && *d <= range_m;
+  const auto ia = nodes_.find(a);
+  if (ia == nodes_.end()) return false;
+  const auto ib = nodes_.find(b);
+  if (ib == nodes_.end()) return false;
+  return Distance(ia->second.pos, ib->second.pos) <= range_m;
 }
 
 std::vector<NodeId> Medium::NodesWithin(
     NodeId center, double range_m,
     const std::function<bool(NodeId)>& filter) const {
-  const auto cpos = GetPosition(center);
-  if (!cpos.ok()) return {};
+  const auto cit = nodes_.find(center);
+  if (cit == nodes_.end()) return {};
+  const Position cpos = cit->second.pos;
+
+  COBS({
+    static obs::Counter& grid_queries =
+        obs::Observability::metrics().GetCounter(
+            "medium_neighbor_queries_total", {{"backend", "grid"}});
+    static obs::Counter& linear_queries =
+        obs::Observability::metrics().GetCounter(
+            "medium_neighbor_queries_total", {{"backend", "linear"}});
+    (use_grid_ ? grid_queries : linear_queries).Inc();
+  });
+
   std::vector<std::pair<double, NodeId>> hits;
-  for (const auto& [id, info] : nodes_) {
-    if (id == center) continue;
-    const double d = Distance(*cpos, info.pos);
+  const auto consider = [&](NodeId id, Position pos) {
+    if (id == center) return;
+    const double d = Distance(cpos, pos);
     if (d <= range_m && (!filter || filter(id))) hits.emplace_back(d, id);
+  };
+
+  if (!use_grid_) {
+    for (const auto& [id, info] : nodes_) consider(id, info.pos);
+  } else {
+    const std::int64_t cx0 = ClampCoord((cpos.x - range_m) / cell_size_);
+    const std::int64_t cx1 = ClampCoord((cpos.x + range_m) / cell_size_);
+    const std::int64_t cy0 = ClampCoord((cpos.y - range_m) / cell_size_);
+    const std::int64_t cy1 = ClampCoord((cpos.y + range_m) / cell_size_);
+    const double span_x = static_cast<double>(cx1 - cx0 + 1);
+    const double span_y = static_cast<double>(cy1 - cy0 + 1);
+    if (span_x * span_y > static_cast<double>(cells_.size())) {
+      // The range covers more cells than exist: walking every occupied
+      // cell is cheaper (and bounded by N) — e.g. an "everything" query.
+      for (const auto& [key, entries] : cells_) {
+        for (const CellEntry& e : entries) consider(e.id, e.pos);
+      }
+    } else {
+      for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+        for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+          const auto cell = cells_.find(PackCell(cx, cy));
+          if (cell == cells_.end()) continue;
+          for (const CellEntry& e : cell->second) consider(e.id, e.pos);
+        }
+      }
+    }
   }
+
   // Deterministic order: nearest first, distance ties broken by ascending
   // NodeId (spelled out, not left to pair's lexicographic operator<, so
-  // the contract survives refactors of the hit representation).
+  // the contract survives refactors of the hit representation). This is
+  // what makes the grid and the linear oracle byte-identical.
   std::sort(hits.begin(), hits.end(),
             [](const std::pair<double, NodeId>& a,
                const std::pair<double, NodeId>& b) {

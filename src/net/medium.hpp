@@ -2,8 +2,16 @@
 //
 // Every radio-equipped entity (phone, BT-GPS receiver, communicator)
 // registers as a node with a 2-D position; radio models ask the medium
-// which peers are in range. Mobility (sailing boats) is expressed by
-// updating positions over simulated time.
+// which peers are in range. Mobility (sailing boats, city commuters) is
+// expressed by updating positions over simulated time.
+//
+// Range queries run against a uniform spatial hash grid so that a city
+// of 100k moving nodes stays O(neighbors) per query instead of O(N).
+// The grid is an index only: NodesWithin's result contract — nearest
+// first, exact distance ties broken by ascending NodeId — is identical
+// to the brute-force scan, which remains available behind `set_use_grid
+// (false)` as the property-test oracle. Cell size is derived from the
+// radio ranges the protocol models register via NoteRadioRange.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +35,20 @@ struct Position {
 
 [[nodiscard]] double Distance(Position a, Position b) noexcept;
 
+struct MediumOptions {
+  /// Answer range queries from the spatial grid. OFF selects the linear
+  /// scan over every registered node — the semantics oracle for tests.
+  bool use_grid = true;
+  /// Fixed grid cell edge in meters; 0 = derive from NoteRadioRange
+  /// hints (geometric mean of the smallest and largest noted range,
+  /// clamped to [1, 2000]; 100 m before any radio registers).
+  double cell_size_m = 0.0;
+};
+
 class Medium {
  public:
+  explicit Medium(MediumOptions options = {});
+
   /// Registers a node; ids are dense and deterministic (1, 2, 3, ...).
   NodeId Register(std::string name, Position pos);
 
@@ -39,17 +59,23 @@ class Medium {
   [[nodiscard]] bool Exists(NodeId id) const noexcept;
   [[nodiscard]] Result<Position> GetPosition(NodeId id) const;
   [[nodiscard]] Result<std::string> GetName(NodeId id) const;
+  /// Moves a node. The grid migrates the node between cells
+  /// incrementally (O(1)); same-cell moves only rewrite the slot.
   Status SetPosition(NodeId id, Position pos);
 
   /// Distance between two registered nodes (error if either is gone).
   [[nodiscard]] Result<double> DistanceBetween(NodeId a, NodeId b) const;
 
   /// True when both exist and are within `range_m` of each other.
+  /// Single-pass: two raw map probes, no Result plumbing — this is the
+  /// per-packet hot path for both radios.
   [[nodiscard]] bool InRange(NodeId a, NodeId b, double range_m) const;
 
   /// All other nodes within `range_m` of `center`, nearest first; exact
   /// distance ties break by ascending NodeId (deterministic order even
-  /// for equidistant peers). Optionally filtered by a predicate.
+  /// for equidistant peers). Optionally filtered by a predicate; the
+  /// predicate only ever sees in-range nodes, but the order in which it
+  /// is consulted is unspecified (the result order is not).
   [[nodiscard]] std::vector<NodeId> NodesWithin(
       NodeId center, double range_m,
       const std::function<bool(NodeId)>& filter = {}) const;
@@ -61,13 +87,54 @@ class Medium {
   /// All currently registered node ids, ascending.
   [[nodiscard]] std::vector<NodeId> AllNodes() const;
 
+  // --- Spatial index ----------------------------------------------------
+
+  /// Radio models call this with their configured range at construction;
+  /// in auto mode the grid re-derives its cell size from the noted
+  /// min/max and rebuilds when it changes. Results never change, only
+  /// query cost.
+  void NoteRadioRange(double range_m);
+
+  /// Switches between the grid and the linear oracle at runtime. The
+  /// grid index is maintained either way, so flipping is O(1).
+  void set_use_grid(bool use_grid) noexcept { use_grid_ = use_grid; }
+  [[nodiscard]] bool use_grid() const noexcept { return use_grid_; }
+  [[nodiscard]] double cell_size_m() const noexcept { return cell_size_; }
+  [[nodiscard]] std::size_t occupied_cells() const noexcept {
+    return cells_.size();
+  }
+  /// Mean nodes per occupied cell (0 when empty) — the occupancy gauge.
+  [[nodiscard]] double mean_cell_occupancy() const noexcept;
+
  private:
   struct NodeInfo {
     std::string name;
     Position pos;
+    std::uint64_t cell = 0;   // current cell key
+    std::uint32_t slot = 0;   // index into that cell's entry vector
   };
+  struct CellEntry {
+    NodeId id;
+    Position pos;  // mirrored so queries never probe nodes_ per candidate
+  };
+
+  [[nodiscard]] std::uint64_t CellKeyFor(Position pos) const noexcept;
+  void InsertIntoCell(NodeId id, NodeInfo& info);
+  void RemoveFromCell(const NodeInfo& info);
+  /// Re-derives the cell size from the noted ranges; rebuilds the grid
+  /// when the derived size changes.
+  void MaybeResize();
+  void RebuildGrid();
+  void PublishGauges() const;
+
   std::unordered_map<NodeId, NodeInfo> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<CellEntry>> cells_;
   NodeId next_id_ = 1;
+  bool use_grid_ = true;
+  bool fixed_cell_size_ = false;
+  double cell_size_ = 100.0;
+  double min_range_ = 0.0;  // 0 = no range noted yet
+  double max_range_ = 0.0;
 };
 
 }  // namespace contory::net

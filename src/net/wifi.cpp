@@ -21,6 +21,8 @@ WifiController::WifiController(sim::Simulation& sim, WifiBus& bus,
                                WifiConfig config)
     : sim_(sim), bus_(bus), phone_(phone), node_(node), config_(config) {
   bus_.Attach(node_, this);
+  // Feed the medium's spatial index its cell-size derivation hint.
+  bus_.medium().NoteRadioRange(config_.range_m);
 }
 
 WifiController::~WifiController() { bus_.Detach(node_); }

@@ -167,6 +167,12 @@ void SmRuntime::Receive(net::NodeId from, const std::vector<std::byte>& wire) {
 
 SmRuntime::BfsResult SmRuntime::Bfs(
     const std::unordered_set<net::NodeId>& exclude) const {
+  return Bfs(exclude, BfsOptions{});
+}
+
+SmRuntime::BfsResult SmRuntime::Bfs(
+    const std::unordered_set<net::NodeId>& exclude,
+    const BfsOptions& options) const {
   BfsResult result;
   std::queue<net::NodeId> frontier;
   result.depth[node()] = 0;
@@ -175,6 +181,10 @@ SmRuntime::BfsResult SmRuntime::Bfs(
   while (!frontier.empty()) {
     const net::NodeId current = frontier.front();
     frontier.pop();
+    if (options.max_depth > 0 &&
+        result.depth[current] >= options.max_depth) {
+      continue;  // bounded radius: do not expand past the hop budget
+    }
     const SmRuntime* rt = bus_.Find(current);
     if (rt == nullptr) continue;
     for (const net::NodeId nb : rt->wifi_.Neighbors()) {
@@ -184,6 +194,7 @@ SmRuntime::BfsResult SmRuntime::Bfs(
       result.depth[nb] = result.depth[current] + 1;
       result.parent[nb] = current;
       result.order.push_back(nb);
+      if (options.stop && options.stop(nb)) return result;
       frontier.push(nb);
     }
   }
@@ -193,7 +204,17 @@ SmRuntime::BfsResult SmRuntime::Bfs(
 Result<net::NodeId> SmRuntime::NextHopTowardTag(
     const std::string& tag,
     const std::unordered_set<net::NodeId>& exclude) const {
-  const BfsResult bfs = Bfs(exclude);
+  // Discovery order is nearest-first, so the search can stop at the first
+  // tagged node: identical result to a full BFS + scan, without touching
+  // the rest of a (possibly city-sized) overlay.
+  const auto exposes_tag = [this, &tag](net::NodeId n) {
+    const SmRuntime* rt = bus_.Find(n);
+    return rt != nullptr && rt->tags_.Has(tag);
+  };
+  const BfsResult bfs =
+      Bfs(exclude, BfsOptions{0, [&](net::NodeId n) {
+                                return n != node() && exposes_tag(n);
+                              }});
   for (const net::NodeId candidate : bfs.order) {  // BFS order = nearest first
     if (candidate == node()) continue;
     const SmRuntime* rt = bus_.Find(candidate);
@@ -208,7 +229,14 @@ Result<net::NodeId> SmRuntime::NextHopTowardTag(
 
 Result<int> SmRuntime::HopDistanceToTag(const std::string& tag) const {
   if (tags_.Has(tag)) return 0;
-  const BfsResult bfs = Bfs({});
+  const auto exposes_tag = [this, &tag](net::NodeId n) {
+    const SmRuntime* rt = bus_.Find(n);
+    return rt != nullptr && rt->tags_.Has(tag);
+  };
+  const BfsResult bfs =
+      Bfs({}, BfsOptions{0, [&](net::NodeId n) {
+                           return n != node() && exposes_tag(n);
+                         }});
   for (const net::NodeId candidate : bfs.order) {
     if (candidate == node()) continue;
     const SmRuntime* rt = bus_.Find(candidate);
@@ -219,7 +247,7 @@ Result<int> SmRuntime::HopDistanceToTag(const std::string& tag) const {
 
 std::vector<std::pair<net::NodeId, int>> SmRuntime::NodesWithTag(
     const std::string& tag, int max_hops) const {
-  const BfsResult bfs = Bfs({});
+  const BfsResult bfs = Bfs({}, BfsOptions{max_hops, nullptr});
   std::vector<std::pair<net::NodeId, int>> out;
   for (const net::NodeId candidate : bfs.order) {
     if (candidate == node()) continue;

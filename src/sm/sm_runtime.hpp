@@ -163,8 +163,20 @@ class SmRuntime {
     std::unordered_map<net::NodeId, net::NodeId> parent;
     std::unordered_map<net::NodeId, int> depth;
   };
+  /// `stop`: halts the search as soon as a just-discovered node satisfies
+  /// it — BFS discovery order equals nearest-first scan order, so callers
+  /// looking for the nearest match lose nothing by stopping there (a
+  /// city-scale overlay would otherwise be fully explored per query).
+  /// `max_depth` > 0 bounds the search radius in hops; depths <= the
+  /// bound are exact shortest-path distances either way.
+  struct BfsOptions {
+    int max_depth = 0;
+    std::function<bool(net::NodeId)> stop;
+  };
   [[nodiscard]] BfsResult Bfs(
       const std::unordered_set<net::NodeId>& exclude) const;
+  [[nodiscard]] BfsResult Bfs(const std::unordered_set<net::NodeId>& exclude,
+                              const BfsOptions& options) const;
 
   sim::Simulation& sim_;
   SmBus& bus_;
