@@ -32,6 +32,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/observability.hpp"
 #include "testbed/city_scenario.hpp"
 
@@ -105,7 +106,8 @@ void MeasureNeighborLatency(testbed::CityScenario& city, SizeResult& out) {
 }
 
 SizeResult RunSize(std::size_t nodes, std::size_t rounds, int num_hops,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, std::int64_t route_cache_ttl_ms,
+                   bool record) {
   SizeResult out;
   out.nodes = nodes;
   out.rounds = rounds;
@@ -118,6 +120,8 @@ SizeResult RunSize(std::size_t nodes, std::size_t rounds, int num_hops,
   options.area_m = 70.0 * std::sqrt(static_cast<double>(nodes));
   options.provider_fraction = 0.25;
   options.seed = seed;
+  options.route_cache_ttl =
+      std::chrono::milliseconds{route_cache_ttl_ms};
 
   const auto build_start = Clock::now();
   testbed::CityScenario city(options);
@@ -149,6 +153,11 @@ SizeResult RunSize(std::size_t nodes, std::size_t rounds, int num_hops,
                         outcome = o;
                       });
     city.sim().RunFor(timeout + 5s);  // mobility keeps ticking throughout
+    // One flight-recorder frame per finder round: the hop / airtime /
+    // route-cache curves line up with the rounds that produced them.
+    if (record) {
+      COBS(obs::Observability::recorder().Sample(city.sim().Now()));
+    }
     if (!outcome.has_value()) continue;
     successes += outcome->success ? 1 : 0;
     replies += outcome->replied ? 1 : 0;
@@ -194,11 +203,27 @@ std::string SizeLabel(std::size_t nodes) {
 }
 
 int Run(const std::vector<std::size_t>& sizes, std::size_t rounds,
-        int num_hops, bool gate, const std::string& out_path) {
+        int num_hops, bool gate, const std::string& out_path,
+        const std::string& trace_path, std::int64_t route_cache_ttl_ms) {
+  if (!trace_path.empty()) {
+    if (!COBS_ON()) {
+      std::fprintf(stderr,
+                   "--trace-out ignored: observability is compiled out or "
+                   "disabled\n");
+    } else {
+      obs::RecorderConfig rec;
+      rec.capacity = 4096;
+      rec.prefixes = {"sm_", "radio_", "recorder_"};
+      obs::Observability::recorder().Configure(std::move(rec));
+    }
+  }
+
   std::vector<SizeResult> results;
   for (const std::size_t nodes : sizes) {
     std::printf("building %zu-phone city...\n", nodes);
-    results.push_back(RunSize(nodes, rounds, num_hops, /*seed=*/20260808));
+    results.push_back(RunSize(nodes, rounds, num_hops, /*seed=*/20260808,
+                              route_cache_ttl_ms,
+                              /*record=*/!trace_path.empty()));
     const SizeResult& r = results.back();
     std::printf(
         "  done: success %.0f%%, hops p50 %.0f, grid speedup x%.1f "
@@ -283,6 +308,16 @@ int Run(const std::vector<std::size_t>& sizes, std::size_t rounds,
                   r.neighbor_speedup_p50, r.nodes);
     }
   }
+
+  if (!trace_path.empty() && COBS_ON()) {
+    if (obs::ExportChromeTrace(trace_path)) {
+      std::printf("wrote %s (load at ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -294,10 +329,16 @@ int main(int argc, char** argv) {
   std::size_t rounds = 0;
   int num_hops = 10;
   std::string out_path;
+  std::string trace_path;
+  std::int64_t route_cache_ttl_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_path = arg + 12;
+    } else if (std::strncmp(arg, "--route-cache-ttl-ms=", 21) == 0) {
+      route_cache_ttl_ms = std::stoll(arg + 21);
     } else if (std::strncmp(arg, "--nodes=", 8) == 0) {
       std::string list = arg + 8;
       for (std::size_t pos = 0; pos < list.size();) {
@@ -318,7 +359,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: city_scale [--smoke] [--nodes=a,b,c] "
-                   "[--rounds=N] [--hops=N] [--out=FILE]\n");
+                   "[--rounds=N] [--hops=N] [--out=FILE] "
+                   "[--trace-out=FILE] [--route-cache-ttl-ms=N]\n");
       return 2;
     }
   }
@@ -330,5 +372,6 @@ int main(int argc, char** argv) {
   // The smoke run is a liveness check, not a perf measurement: skip the
   // >= 10x gate (1-core CI noise) unless the caller swept a 10k+ size
   // explicitly in a full run.
-  return Run(sizes, rounds, num_hops, /*gate=*/!smoke, out_path);
+  return Run(sizes, rounds, num_hops, /*gate=*/!smoke, out_path,
+             trace_path, route_cache_ttl_ms);
 }

@@ -128,6 +128,16 @@ std::unique_ptr<CxtProvider> ContextFactory::MakeProvider(
           wifi_ref_, access_, client, transport,
           config_.adhoc_finder_retries);
       provider->ConfigureRetry(config_.retry);
+      // Hand the provider its query's provision span so the WiFi
+      // transport's SM-FINDER hop chain nests inside the trace tree. A
+      // merged cluster carries its first query's id, so the whole
+      // cluster's hops attribute to that query's tree.
+      COBS(if (record != nullptr) {
+        std::uint64_t parent =
+            EnsureProvisionSpan(*record, query::SourceSel::kAdHocNetwork);
+        if (parent == 0) parent = record->obs.root;
+        provider->SetTraceSpan(parent);
+      });
       return provider;
     }
     case query::SourceSel::kAuto:
@@ -253,11 +263,18 @@ Result<std::string> ContextFactory::ActivateQuery(QueryId qid,
   });
   const std::string id = record->query.id;
 
-  // Stage 3: facade assignment.
+  // Stage 3: facade assignment. A facade Submit may deliver
+  // synchronously and the client may finish the query from inside that
+  // delivery (reentrant cancel), invalidating `record` — iterate over a
+  // snapshot of the plan and re-resolve the record after every call.
+  const std::vector<query::SourceSel> initial(record->plan.initial.begin(),
+                                              record->plan.initial.end());
   Status last;
   std::size_t assigned = 0;
-  for (const query::SourceSel kind : record->plan.initial) {
+  for (const query::SourceSel kind : initial) {
     const Status s = AssignToFacade(*record, kind);
+    record = table_.FindById(qid);
+    if (record == nullptr) return id;  // finished from inside the delivery
     if (s.ok()) {
       ++assigned;
     } else {
@@ -382,19 +399,25 @@ Status ContextFactory::AssignToFacade(QueryRecord& record,
       armed = true;
     }
   });
+  const QueryId qid = record.qid;
   const Status s = facades_.at(kind)->Submit(record.query);
+  // Submit can deliver synchronously, and the client may cancel (or
+  // otherwise finish) the query from inside that delivery — which
+  // erases the record. Re-resolve before touching it again.
+  QueryRecord* live = table_.FindById(qid);
+  if (live == nullptr) return s;
   if (s.ok()) {
-    record.assigned.insert(kind);
+    live->assigned.insert(kind);
   } else if (armed) {
     COBS({
-      const std::uint64_t span = EnsureProvisionSpan(record, kind);
+      const std::uint64_t span = EnsureProvisionSpan(*live, kind);
       if (span != 0) {
         obs::Observability::tracer().EndStage(span, services_.sim->Now(),
                                               "not-assigned");
       }
       const auto i = static_cast<std::size_t>(kind);
-      record.obs.provision[i] = 0;
-      record.obs.provision_pending[i] = false;
+      live->obs.provision[i] = 0;
+      live->obs.provision_pending[i] = false;
     });
   }
   return s;

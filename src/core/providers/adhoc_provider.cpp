@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "core/publisher.hpp"
 #include "core/query/predicate.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::core {
 namespace {
@@ -436,6 +437,8 @@ void AdHocCxtProvider::WifiLaunchRound() {
   sm.target_tag = CxtTagName(query().select_type);
   sm.max_hops = scope.num_hops;
   sm.data = state.Encode();
+  // Hop spans of this finder nest under the query's provision span.
+  COBS(sm.trace_parent = trace_span());
   active_finder_id_ = sm.id;
 
   rt->RegisterReplyHandler(sm.id, [this, life = life_](
@@ -467,6 +470,11 @@ void AdHocCxtProvider::WifiRoundReply(sm::SmartMessage reply) {
   sim().Cancel(finder_timeout_);
   finder_timeout_ = sim::kInvalidTimer;
   active_finder_id_.clear();
+  COBS({
+    static obs::Histogram& hops = obs::Observability::metrics().GetHistogram(
+        "sm_finder_hops", {}, obs::DefaultHopBounds());
+    hops.Observe(static_cast<double>(reply.hop_count));
+  });
 
   auto state = FinderState::Decode(reply.data);
   if (!state.ok()) {

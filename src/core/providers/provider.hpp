@@ -80,6 +80,16 @@ class CxtProvider {
     return retries_;
   }
 
+  /// Open tracer span (the query's provision stage, or its root) this
+  /// provider's transport activity should nest under — the AdHoc WiFi
+  /// transport threads it through its SM-FINDERs so per-hop spans land
+  /// in the right query tree. 0 (the default) = untraced; the factory
+  /// sets it at provider creation when observability is on.
+  void SetTraceSpan(std::uint64_t span) noexcept { trace_span_ = span; }
+  [[nodiscard]] std::uint64_t trace_span() const noexcept {
+    return trace_span_;
+  }
+
  protected:
   virtual void DoStart() = 0;
   virtual void DoStop() = 0;
@@ -141,6 +151,7 @@ class CxtProvider {
   std::deque<CxtItem> event_window_;
   std::uint64_t delivered_ = 0;
   std::uint64_t offered_ = 0;
+  std::uint64_t trace_span_ = 0;
 
   static constexpr std::size_t kEventWindowCap = 32;
 };

@@ -98,8 +98,14 @@ void WifiController::SendFrame(NodeId to, std::vector<std::byte> payload,
         "radio_tx_frames_total", {{"radio", "wifi"}});
     static obs::Counter& bytes = obs::Observability::metrics().GetCounter(
         "radio_tx_bytes_total", {{"radio", "wifi"}});
+    // Per-frame airtime (connect + transfer + jitter + injected spikes):
+    // the per-hop transfer distribution the SM hop spans decompose.
+    static obs::Histogram& airtime =
+        obs::Observability::metrics().GetHistogram("radio_frame_airtime_ms",
+                                                   {{"radio", "wifi"}});
     frames.Inc();
     bytes.Inc(payload.size());
+    airtime.Observe(ToMillis(latency));
   });
   sim_.ScheduleAfter(
       latency,

@@ -1,0 +1,139 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "obs/observability.hpp"
+
+namespace contory::obs {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::int64_t Micros(SimTime t) { return t.time_since_epoch().count(); }
+
+/// The id of the tree root `id` transitively belongs to: follow parents
+/// while they name *finished* spans; an unknown parent (still open, or
+/// dropped from the bounded deque) becomes the track id itself, which
+/// still groups siblings together.
+std::uint64_t ResolveRoot(
+    std::uint64_t id,
+    const std::unordered_map<std::uint64_t, std::uint64_t>& parent_of) {
+  std::uint64_t cur = id;
+  for (;;) {
+    const auto it = parent_of.find(cur);
+    if (it == parent_of.end() || it->second == 0) return cur;
+    cur = it->second;
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  const QueryTracer& tracer = Observability::tracer();
+  const FlightRecorder& recorder = Observability::recorder();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  for (const Span& span : tracer.finished()) {
+    parent_of[span.id] = span.parent;
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += event;
+  };
+
+  emit("{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"contory\"}}");
+  for (const Span& span : tracer.finished()) {
+    if (span.parent != 0) continue;
+    emit("{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(span.id) +
+         ", \"name\": \"thread_name\", \"args\": {\"name\": \"" +
+         EscapeJson(span.query_id) + "\"}}");
+  }
+
+  for (const Span& span : tracer.finished()) {
+    std::string name = span.name;
+    if (!span.mechanism.empty()) name += ':' + span.mechanism;
+    std::string event = "{\"ph\": \"X\", \"pid\": 1, \"tid\": " +
+                        std::to_string(ResolveRoot(span.id, parent_of)) +
+                        ", \"name\": \"" + EscapeJson(name) +
+                        "\", \"cat\": \"span\", \"ts\": " +
+                        std::to_string(Micros(span.start)) +
+                        ", \"dur\": " +
+                        std::to_string((span.end - span.start).count());
+    event += ", \"args\": {\"query\": \"" + EscapeJson(span.query_id) +
+             "\", \"status\": \"" + EscapeJson(span.status) + "\"";
+    event += ", \"energy_j\": " + FormatDouble(span.energy_joules());
+    if (span.items != 0) {
+      event += ", \"items\": " + std::to_string(span.items);
+    }
+    if (!span.notes.empty()) {
+      std::string notes;
+      for (const std::string& note : span.notes) {
+        if (!notes.empty()) notes += "; ";
+        notes += note;
+      }
+      event += ", \"notes\": \"" + EscapeJson(notes) + "\"";
+    }
+    event += "}}";
+    emit(event);
+  }
+
+  const auto& columns = recorder.columns();
+  for (const FlightRecorder::Frame& frame : recorder.frames()) {
+    for (std::size_t i = 0; i < frame.values.size() && i < columns.size();
+         ++i) {
+      emit("{\"ph\": \"C\", \"pid\": 1, \"name\": \"" +
+           EscapeJson(columns[i].key) + "\", \"ts\": " +
+           std::to_string(Micros(frame.t)) + ", \"args\": {\"value\": " +
+           FormatDouble(frame.values[i]) + "}}");
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+bool ExportChromeTrace(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << ChromeTraceJson();
+  return static_cast<bool>(file);
+}
+
+}  // namespace contory::obs

@@ -1,0 +1,30 @@
+// Chrome trace-event export: finished spans + recorder series as JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Rendering rules:
+//   - every finished tracer span becomes one complete event (ph "X"),
+//     ts/dur in microseconds of *simulated* time, pid 1, tid = the id of
+//     the span's transitively-resolved tree root — so one query's root,
+//     provision stages and SM hop chain line up on one track, which is
+//     exactly the "where did the FINDER's 15 hops actually go" view;
+//   - each root gets a thread_name metadata record naming its query id;
+//   - every flight-recorder column becomes a counter track (ph "C") with
+//     one event per frame, so the shed-level / live-queries / occupancy
+//     curves render under the spans they explain.
+//
+// Only *finished* spans export (the tracer's bounded deque; drops mean
+// the head of a long run is missing — size it with SetCapacity). The
+// export is a pure read: it never mutates tracer or recorder state.
+#pragma once
+
+#include <string>
+
+namespace contory::obs {
+
+/// The full trace-event JSON document ({"traceEvents": [...], ...}).
+[[nodiscard]] std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`; false on I/O failure.
+bool ExportChromeTrace(const std::string& path);
+
+}  // namespace contory::obs

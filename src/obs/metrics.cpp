@@ -103,6 +103,13 @@ const std::vector<double>& DefaultEnergyBoundsJ() {
   return kBounds;
 }
 
+const std::vector<double>& DefaultHopBounds() {
+  static const std::vector<double> kBounds{1.0,  2.0,  3.0,  4.0,  5.0,
+                                           6.0,  7.0,  8.0,  10.0, 12.0,
+                                           16.0, 24.0, 32.0, 48.0, 64.0};
+  return kBounds;
+}
+
 std::string MetricsRegistry::EncodeKey(const std::string& name,
                                        const Labels& labels) {
   std::string key = name;
@@ -136,6 +143,45 @@ MetricsRegistry::Slot& MetricsRegistry::GetSlot(
     }
     return it->second;
   }
+  return CreateSlotLocked(name, labels, kind, bounds);
+}
+
+MetricsRegistry::Slot& MetricsRegistry::CreateSlotLocked(
+    const std::string& name, const Labels& labels, Kind kind,
+    const std::vector<double>* bounds) {
+  // Cardinality guard: a labeled series past the per-name cap collapses
+  // into the "other" overflow series (same keys, every value "other").
+  // mu_ is held, so the capped-total counter is resolved inline rather
+  // than through the public Get path.
+  if (series_cap_ != 0 && !labels.empty()) {
+    const bool is_overflow =
+        std::all_of(labels.begin(), labels.end(),
+                    [](const auto& kv) { return kv.second == "other"; });
+    if (!is_overflow) {
+      auto& minted = labeled_series_[name];
+      if (minted >= series_cap_) {
+        Counter& capped =
+            *CreateSlotLocked("metrics_series_capped_total", {},
+                              Kind::kCounter, nullptr)
+                 .counter;
+        capped.Inc();
+        Labels overflow = labels;
+        for (auto& [k, v] : overflow) v = "other";
+        const std::string overflow_key = EncodeKey(name, overflow);
+        const auto it = entries_.find(overflow_key);
+        if (it != entries_.end()) {
+          if (it->second.kind != kind) {
+            throw std::logic_error("metric '" + overflow_key +
+                                   "' already registered as " +
+                                   KindName(it->second.kind));
+          }
+          return it->second;
+        }
+        return CreateSlotLocked(name, overflow, kind, bounds);
+      }
+      ++minted;
+    }
+  }
   Slot slot;
   slot.name = name;
   slot.labels = labels;
@@ -149,7 +195,13 @@ MetricsRegistry::Slot& MetricsRegistry::GetSlot(
           bounds != nullptr ? *bounds : DefaultLatencyBoundsMs());
       break;
   }
-  return entries_.emplace(key, std::move(slot)).first->second;
+  return entries_.emplace(EncodeKey(name, labels), std::move(slot))
+      .first->second;
+}
+
+void MetricsRegistry::SetSeriesCap(std::size_t cap) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  series_cap_ = cap;
 }
 
 const MetricsRegistry::Slot* MetricsRegistry::FindSlot(

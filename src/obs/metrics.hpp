@@ -106,6 +106,9 @@ class Histogram {
 /// Default bounds for per-operation energy in Joules: 1 mJ to 50 J
 /// (Table 2 spans 0.099 J to 14.076 J).
 [[nodiscard]] const std::vector<double>& DefaultEnergyBoundsJ();
+/// Default bounds for small hop counts (sm_finder_hops): exact up to 16,
+/// then coarse to 64.
+[[nodiscard]] const std::vector<double>& DefaultHopBounds();
 
 class MetricsRegistry {
  public:
@@ -158,6 +161,19 @@ class MetricsRegistry {
   /// Zeroes every value. Handles handed out by Get*() remain valid.
   void Reset();
 
+  /// Caps how many *labeled* series one metric name may mint (unlabeled
+  /// series are never capped). Beyond the cap, Get*() redirects to an
+  /// overflow series with every label value replaced by "other" and
+  /// bumps `metrics_series_capped_total` — so a per-client gauge like
+  /// `overload_bucket_tokens{client}` cannot explode the registry at
+  /// city scale. 0 = unlimited. Applies to series created after the
+  /// call; existing series are never evicted.
+  void SetSeriesCap(std::size_t cap);
+  [[nodiscard]] std::size_t series_cap() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return series_cap_;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept {
     const std::lock_guard<std::mutex> lock(mu_);
     return entries_.size();
@@ -174,12 +190,19 @@ class MetricsRegistry {
   };
   Slot& GetSlot(const std::string& name, const Labels& labels, Kind kind,
                 const std::vector<double>* bounds);
+  /// Creation half of GetSlot, called with mu_ held. May redirect to the
+  /// "other" overflow series when `name` is at its labeled-series cap.
+  Slot& CreateSlotLocked(const std::string& name, const Labels& labels,
+                         Kind kind, const std::vector<double>* bounds);
   [[nodiscard]] const Slot* FindSlot(const std::string& name,
                                      const Labels& labels, Kind kind) const;
 
   /// std::map: node-based (stable Slot addresses) and key-sorted
   /// (deterministic exporter output).
   std::map<std::string, Slot> entries_;
+  /// Labeled series minted per metric name (overflow series excluded).
+  std::map<std::string, std::size_t> labeled_series_;
+  std::size_t series_cap_ = 64;
   /// Guards entries_ (slot creation/lookup and exporters). Hot-path
   /// updates go through the handed-out Counter/Gauge atomics and never
   /// take this — the lock only serializes handle resolution, which every

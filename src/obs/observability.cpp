@@ -14,9 +14,15 @@ QueryTracer& Observability::tracer() {
   return tracer;
 }
 
+FlightRecorder& Observability::recorder() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
 void Observability::ResetForTest() {
   metrics().Reset();
   tracer().Reset();
+  recorder().Reset();
   enabled_ = true;
 }
 

@@ -21,6 +21,7 @@
 #include <atomic>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/tracer.hpp"
 
 namespace contory::obs {
@@ -34,13 +35,15 @@ class Observability {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// The process-wide registry/tracer. Construction is lazy; references
-  /// stay valid for the process lifetime.
+  /// The process-wide registry/tracer/recorder. Construction is lazy;
+  /// references stay valid for the process lifetime.
   [[nodiscard]] static MetricsRegistry& metrics();
   [[nodiscard]] static QueryTracer& tracer();
+  [[nodiscard]] static FlightRecorder& recorder();
 
-  /// Zeroes the registry, clears the tracer, re-enables. For test SetUp
-  /// and bench run boundaries.
+  /// Zeroes the registry, clears the tracer (open window, old
+  /// generation, finished deque) and the recorder ring, re-enables. For
+  /// test SetUp and bench run boundaries.
   static void ResetForTest();
 
  private:

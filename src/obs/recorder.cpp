@@ -1,0 +1,139 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/observability.hpp"
+
+namespace contory::obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void FlightRecorder::Configure(RecorderConfig config) {
+  config_ = std::move(config);
+  if (config_.capacity == 0) config_.capacity = 1;
+  Reset();
+}
+
+bool FlightRecorder::Matches(const std::string& name) const {
+  if (config_.prefixes.empty()) return true;
+  for (const std::string& prefix : config_.prefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::size_t FlightRecorder::ColumnIndex(const std::string& key,
+                                        const char* kind) {
+  const auto it = column_index_.find(key);
+  if (it != column_index_.end()) return it->second;
+  const std::size_t index = columns_.size();
+  columns_.push_back(Column{key, kind, 0.0});
+  column_index_.emplace(key, index);
+  return index;
+}
+
+void FlightRecorder::Record(std::size_t column, double value) {
+  Frame& frame = frames_.back();
+  if (column >= frame.values.size()) frame.values.resize(column + 1, 0.0);
+  frame.values[column] = value;
+}
+
+void FlightRecorder::Sample(SimTime now) {
+  auto& registry = Observability::metrics();
+  frames_.push_back(Frame{now, {}});
+  frames_.back().values.reserve(columns_.size());
+  for (const MetricsRegistry::Entry& entry : registry.Entries()) {
+    if (!Matches(entry.name)) continue;
+    const std::string key = MetricsRegistry::EncodeKey(entry.name,
+                                                       entry.labels);
+    switch (entry.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        const std::size_t i = ColumnIndex(key, "counter");
+        const double raw = static_cast<double>(entry.counter->value());
+        Record(i, raw - columns_[i].last_raw);
+        columns_[i].last_raw = raw;
+        break;
+      }
+      case MetricsRegistry::Kind::kGauge: {
+        const std::size_t i = ColumnIndex(key, "gauge");
+        Record(i, entry.gauge->value());
+        break;
+      }
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        Record(ColumnIndex(key + "/p50", "p50"), h.Percentile(50));
+        Record(ColumnIndex(key + "/p99", "p99"), h.Percentile(99));
+        const std::size_t i = ColumnIndex(key + "/count", "count");
+        const double raw = static_cast<double>(h.count());
+        Record(i, raw - columns_[i].last_raw);
+        columns_[i].last_raw = raw;
+        break;
+      }
+    }
+  }
+  ++samples_;
+  while (frames_.size() > config_.capacity) {
+    frames_.pop_front();
+    ++dropped_;
+  }
+  // Self-metrics (visible in the *next* frame and in final snapshots).
+  registry.GetGauge("recorder_frames")
+      .Set(static_cast<double>(frames_.size()));
+  registry.GetGauge("recorder_columns")
+      .Set(static_cast<double>(columns_.size()));
+  registry.GetGauge("recorder_frames_dropped")
+      .Set(static_cast<double>(dropped_));
+  registry.GetCounter("recorder_samples_total").Inc();
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::string out = "{\n  \"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"' + columns_[i].key + '"';
+  }
+  out += "],\n  \"kinds\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"' + columns_[i].kind + '"';
+  }
+  out += "],\n  \"sampled\": " + std::to_string(samples_);
+  out += ",\n  \"dropped\": " + std::to_string(dropped_);
+  out += ",\n  \"capacity\": " + std::to_string(config_.capacity);
+  out += ",\n  \"frames\": [";
+  bool first = true;
+  for (const Frame& frame : frames_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"t_ms\": " +
+           FormatDouble(ToMillis(frame.t.time_since_epoch())) + ", \"v\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i != 0) out += ", ";
+      // Columns that appeared after this frame was sampled have no
+      // value here; null keeps the row width uniform for plotters.
+      out += i < frame.values.size() ? FormatDouble(frame.values[i])
+                                     : std::string("null");
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  columns_.clear();
+  column_index_.clear();
+  frames_.clear();
+  samples_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace contory::obs

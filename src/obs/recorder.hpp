@@ -1,0 +1,122 @@
+// FlightRecorder: periodic time-series snapshots of the metrics registry.
+//
+// The registry is a point-in-time snapshot; the paper's evaluation (and
+// every bench built on it so far) reports end-of-run aggregates. After
+// the city tier, the interesting behavior is *temporal* — shed-level
+// oscillation under a spike, grid occupancy under commuter flows, ring
+// high-watermarks during a batch — which a final snapshot cannot show.
+// The recorder samples a configurable subset of registry series on a sim
+// clock tick into a bounded in-memory ring of frames:
+//
+//   counters   -> per-frame deltas (the increment since the last sample)
+//   gauges     -> raw values
+//   histograms -> three derived columns: p50, p99, and per-frame count
+//                 delta (suffixed "/p50", "/p99", "/count")
+//
+// The ring is bounded (RecorderConfig::capacity); once full, the oldest
+// frame drops and frames_dropped() counts it — the same drop-accounting
+// discipline as the tracer's finished deque. ToJson() exports the whole
+// ring as a columnar time series; obs::ExportChromeTrace renders it as
+// Perfetto counter tracks.
+//
+// Driving it: contory_obs cannot depend on contory_sim, so the recorder
+// exposes a plain Sample(now) and the owner (a bench, a scenario) wires
+// it to a sim::PeriodicTask — or calls it at any event boundary it
+// likes (scale_queries --overload samples per submit batch, since its
+// three phases run on a frozen sim clock).
+//
+// Threading: Sample() reads histograms, which are simulation-thread-only
+// by the registry's contract, so Sample() is simulation-thread-only too.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace contory::obs {
+
+class MetricsRegistry;
+
+struct RecorderConfig {
+  /// Frames retained; the oldest drops beyond this (drops counted).
+  std::size_t capacity = 1024;
+  /// Record only series whose *name* starts with one of these prefixes;
+  /// empty records every series in the registry.
+  std::vector<std::string> prefixes;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Applies `config` and clears any recorded frames (a new column
+  /// universe invalidates old rows).
+  void Configure(RecorderConfig config);
+  [[nodiscard]] const RecorderConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// One column of the recording. Columns are discovered at sample time
+  /// and only ever appended (a series registered mid-run gets a new
+  /// column; frames sampled before it are padded with null in ToJson).
+  struct Column {
+    /// Registry series key ("name{k=\"v\"}"), plus "/p50" "/p99"
+    /// "/count" for histogram-derived columns.
+    std::string key;
+    /// "counter" (delta), "gauge" (raw), "p50", "p99", "count" (delta).
+    std::string kind;
+    /// Last raw value seen, for delta encoding.
+    double last_raw = 0.0;
+  };
+
+  struct Frame {
+    SimTime t{};
+    /// Indexed like columns(); shorter when columns appeared later.
+    std::vector<double> values;
+  };
+
+  /// Snapshots every matching registry series at sim time `now`.
+  /// Simulation thread only (histograms are not atomic).
+  void Sample(SimTime now);
+
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::deque<Frame>& frames() const noexcept {
+    return frames_;
+  }
+  [[nodiscard]] std::uint64_t samples_total() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept {
+    return dropped_;
+  }
+
+  /// Columnar export:
+  /// {"columns": [...], "kinds": [...], "sampled": N, "dropped": M,
+  ///  "frames": [{"t_ms": 12.5, "v": [..., null]}, ...]}
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Clears frames, columns, and counters; keeps the configuration.
+  void Reset();
+
+ private:
+  void Record(std::size_t column, double value);
+  [[nodiscard]] bool Matches(const std::string& name) const;
+  std::size_t ColumnIndex(const std::string& key, const char* kind);
+
+  RecorderConfig config_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, std::size_t> column_index_;
+  std::deque<Frame> frames_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace contory::obs

@@ -64,6 +64,27 @@ std::uint64_t QueryTracer::InsertStage(const Span& root_span,
   return id;
 }
 
+std::uint64_t QueryTracer::BeginHop(std::uint64_t parent_id, std::string name,
+                                    SimTime now, EnergyProbe probe) {
+  const Span* parent = FindOpenSlot(parent_id);
+  if (parent == nullptr) return 0;
+  const double energy = probe ? probe() : 0.0;
+  // EmplaceOpen may compact the window and relocate the parent span; copy
+  // what the new span needs from it first.
+  std::string query_id = parent->query_id;
+  const std::uint64_t id = next_id_++;
+  ++started_;
+  Span& span = EmplaceOpen(id);
+  span.id = id;
+  span.parent = parent_id;
+  span.query_id = std::move(query_id);
+  span.name = std::move(name);
+  span.start = now;
+  span.energy_start_j = energy;
+  span.probe = std::move(probe);
+  return id;
+}
+
 void QueryTracer::AddNote(std::uint64_t span_id, std::string note) {
   Span* span = FindOpenSlot(span_id);
   if (span != nullptr) span->notes.push_back(std::move(note));
@@ -113,6 +134,10 @@ const Span* QueryTracer::Close(std::uint64_t span_id, SimTime now,
     if (span.probe) span.energy_end_j = span.probe();
     // The probe usually references a device owned by some World; drop it
     // with the root so retained spans never call into torn-down objects.
+    span.probe = nullptr;
+  } else if (span.probe) {
+    // Hop spans meter the sending device through their own probe.
+    span.energy_end_j = span.probe();
     span.probe = nullptr;
   } else {
     const Span* root = FindOpenSlot(span.parent);

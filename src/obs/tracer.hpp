@@ -49,8 +49,9 @@ namespace contory::obs {
 
 struct Span {
   /// Samples the owning device's cumulative energy (Joules). Set on open
-  /// root spans only; cleared at close so retained spans never call into
-  /// torn-down devices. Stage spans read their root's probe instead.
+  /// root spans and on hop spans (which meter the *sending* device, not
+  /// the query's owner); cleared at close so retained spans never call
+  /// into torn-down devices. Plain stage spans read their root's probe.
   std::function<double()> probe;
   std::uint64_t id = 0;
   /// 0 for root spans; the root's id for stage spans.
@@ -113,6 +114,15 @@ class QueryTracer {
                              const char* mechanism, SimTime start,
                              double energy_start_j);
 
+  /// Opens a hop span nested under *any* open span (`parent_id` may be a
+  /// root or a stage — SM hop chains hang off the provision span when one
+  /// exists). Unlike BeginStage, the span carries its own EnergyProbe:
+  /// hops are sent by a different device than the one owning the query
+  /// root, so energy is sampled from the sender's ledger at open and
+  /// close. Returns 0 when the parent is unknown or already closed.
+  std::uint64_t BeginHop(std::uint64_t parent_id, std::string name,
+                         SimTime now, EnergyProbe probe = {});
+
   /// Appends a note to an open span; no-op for unknown/closed handles.
   void AddNote(std::uint64_t span_id, std::string note);
   /// Annotates every open *root* span (fault transitions are global
@@ -153,6 +163,12 @@ class QueryTracer {
   /// value means an instrumentation site fired twice for one lifecycle.
   [[nodiscard]] std::uint64_t double_closes() const noexcept {
     return double_closes_;
+  }
+  /// Long-lived open spans compacted out of the dense window (see
+  /// kMaxWindowChunks). Bounded by *concurrently open* spans; tests
+  /// assert it drains to zero once everything closes or Reset() runs.
+  [[nodiscard]] std::size_t old_generation_size() const noexcept {
+    return old_.size();
   }
 
   void SetCapacity(std::size_t finished_cap);

@@ -4,10 +4,28 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/observability.hpp"
+#include "phone/smart_phone.hpp"
 
 namespace contory::sm {
 namespace {
 constexpr const char* kModule = "sm";
+
+obs::Counter& RouteCacheHits() {
+  static obs::Counter* c = &obs::Observability::metrics().GetCounter(
+      "sm_route_cache_hits_total");
+  return *c;
+}
+obs::Counter& RouteCacheMisses() {
+  static obs::Counter* c = &obs::Observability::metrics().GetCounter(
+      "sm_route_cache_misses_total");
+  return *c;
+}
+obs::Counter& RouteCacheEvictions() {
+  static obs::Counter* c = &obs::Observability::metrics().GetCounter(
+      "sm_route_cache_evictions_total");
+  return *c;
+}
 }
 
 SmRuntime* SmBus::Find(net::NodeId id) const noexcept {
@@ -100,6 +118,14 @@ void SmRuntime::ScheduleExecution(SmartMessage sm, bool count_in_breakup) {
     --resident_;
     ++executed_;
     const auto it = bricks_.find(sm.code_brick);
+    // The hop span covers serialize -> transfer -> thread switch; it
+    // closes here, where the SM starts (or fails to start) executing.
+    COBS(if (sm.trace_hop != 0) {
+      obs::Observability::tracer().EndStage(
+          sm.trace_hop, sim_.Now(),
+          it == bricks_.end() ? "dead:no-brick" : "ok");
+      sm.trace_hop = 0;
+    });
     if (it == bricks_.end()) {
       CLOG_WARN(kModule, "node %u has no code brick '%s'; SM %s dies",
                 node(), sm.code_brick.c_str(), sm.id.c_str());
@@ -110,11 +136,37 @@ void SmRuntime::ScheduleExecution(SmartMessage sm, bool count_in_breakup) {
   }, "sm.execute");
 }
 
+void SmRuntime::BeginHopSpan(SmartMessage& sm, net::NodeId next) {
+  if (sm.trace_parent == 0) return;
+  auto& tracer = obs::Observability::tracer();
+  phone::SmartPhone& sender = wifi_.phone();
+  sm.trace_hop = tracer.BeginHop(
+      sm.trace_parent, "hop:" + std::to_string(sm.hop_count), sim_.Now(),
+      [&sender] { return sender.energy().TotalEnergyJoules(); });
+  if (sm.trace_hop != 0) {
+    tracer.AddNote(sm.trace_hop, "from:" + std::to_string(node()) +
+                                     " to:" + std::to_string(next));
+  }
+}
+
+void SmRuntime::CloseHopOnLoss(const std::string& sm_id,
+                               const Status& cause) {
+  const SmBus::TraceContext ctx = bus_.TakeTrace(sm_id);
+  if (ctx.hop != 0) {
+    obs::Observability::tracer().EndStage(ctx.hop, sim_.Now(),
+                                          "lost: " + cause.ToString());
+  }
+}
+
 void SmRuntime::Migrate(SmartMessage sm, net::NodeId next) {
   SmRuntime* peer = bus_.Find(next);
   if (peer == nullptr || !wifi_.IsNeighbor(next)) {
     CLOG_DEBUG(kModule, "node %u cannot migrate SM %s to %u; SM dies",
                node(), sm.id.c_str(), next);
+    COBS(if (sm.trace_parent != 0) {
+      obs::Observability::tracer().AddNote(
+          sm.trace_parent, "sm-dead:unreachable@" + std::to_string(node()));
+    });
     return;
   }
   const std::size_t code_bytes = CodeBytes(sm.code_brick);
@@ -122,6 +174,7 @@ void SmRuntime::Migrate(SmartMessage sm, net::NodeId next) {
 
   sm.hop_count += 1;
   sm.visited.push_back(next);
+  COBS(BeginHopSpan(sm, next));
 
   // Serialization on the local VM (code travels unless cached remotely).
   const std::size_t wire_size = sm.WireBytes(code_bytes, cached);
@@ -134,12 +187,20 @@ void SmRuntime::Migrate(SmartMessage sm, net::NodeId next) {
   sm.breakup.connect += wifi_.phone().profile().wifi_connect_latency;
   sm.breakup.transfer += wifi_.TransferTime(wire_size);
 
+  // Trace context crosses the air out-of-band (the wire format is load-
+  // bearing for transfer timing); the receiver or a loss path takes it.
+  COBS(if (sm.trace_parent != 0) {
+    bus_.StashTrace(sm.id, {sm.trace_parent, sm.trace_hop});
+  });
+
   auto wire = sm.Serialize(code_bytes, cached);
-  sim_.ScheduleAfter(ser, [this, next, wire = std::move(wire)]() mutable {
-    wifi_.SendFrame(next, std::move(wire), [this, next](Status s) {
+  sim_.ScheduleAfter(ser, [this, next, id = sm.id,
+                           wire = std::move(wire)]() mutable {
+    wifi_.SendFrame(next, std::move(wire), [this, next, id](Status s) {
       if (!s.ok()) {
         CLOG_DEBUG(kModule, "node %u migration frame to %u lost: %s",
                    node(), next, s.ToString().c_str());
+        COBS(CloseHopOnLoss(id, s));
       }
     });
   }, "sm.serialize");
@@ -153,10 +214,19 @@ void SmRuntime::Receive(net::NodeId from, const std::vector<std::byte>& wire) {
               sm.status().ToString().c_str());
     return;
   }
+  COBS({
+    const SmBus::TraceContext ctx = bus_.TakeTrace(sm->id);
+    sm->trace_parent = ctx.parent;
+    sm->trace_hop = ctx.hop;
+  });
   if (resident_ >= config_.max_resident) {
     ++rejected_;  // admission rejection = silent SM death
     CLOG_DEBUG(kModule, "node %u admission manager rejected SM %s", node(),
                sm->id.c_str());
+    COBS(if (sm->trace_hop != 0) {
+      obs::Observability::tracer().EndStage(sm->trace_hop, sim_.Now(),
+                                            "rejected:admission");
+    });
     return;
   }
   ++admitted_;
@@ -204,6 +274,24 @@ SmRuntime::BfsResult SmRuntime::Bfs(
 Result<net::NodeId> SmRuntime::NextHopTowardTag(
     const std::string& tag,
     const std::unordered_set<net::NodeId>& exclude) const {
+  // Route cache (opt-in): only exclude-free lookups are cacheable — the
+  // homeward path resolves the same home tag at every intermediate node
+  // of every reply, which is where a city-scale BFS per hop hurts.
+  const bool cacheable =
+      config_.route_cache_ttl > SimDuration::zero() && exclude.empty();
+  if (cacheable) {
+    if (const auto it = route_cache_.find(tag); it != route_cache_.end()) {
+      const SmRuntime* hop_rt = bus_.Find(it->second.next);
+      if (sim_.Now() - it->second.at <= config_.route_cache_ttl &&
+          hop_rt != nullptr && hop_rt->participating() &&
+          wifi_.IsNeighbor(it->second.next)) {
+        COBS(RouteCacheHits().Inc());
+        return it->second.next;
+      }
+      route_cache_.erase(it);  // stale, or the hop moved away
+    }
+    COBS(RouteCacheMisses().Inc());
+  }
   // Discovery order is nearest-first, so the search can stop at the first
   // tagged node: identical result to a full BFS + scan, without touching
   // the rest of a (possibly city-sized) overlay.
@@ -222,6 +310,14 @@ Result<net::NodeId> SmRuntime::NextHopTowardTag(
     // Walk back to the first hop from this node.
     net::NodeId hop = candidate;
     while (bfs.parent.at(hop) != node()) hop = bfs.parent.at(hop);
+    if (cacheable) {
+      if (route_cache_.size() >= config_.route_cache_capacity &&
+          !route_cache_.contains(tag)) {
+        route_cache_.clear();
+        COBS(RouteCacheEvictions().Inc());
+      }
+      route_cache_[tag] = RouteEntry{hop, sim_.Now()};
+    }
     return hop;
   }
   return NotFound("no reachable node exposes tag '" + tag + "'");

@@ -40,11 +40,37 @@ class SmBus {
  public:
   [[nodiscard]] SmRuntime* Find(net::NodeId id) const noexcept;
 
+  /// Trace context ferried across the air gap out-of-band: the wire
+  /// format must not change (it sets transfer times and energy), so the
+  /// sender stashes the in-flight SM's span handles here and the
+  /// receiver takes them back by message id. Entries are erased on
+  /// delivery and on every loss path; only a malformed frame (never
+  /// produced by our own serializer) could strand one.
+  struct TraceContext {
+    std::uint64_t parent = 0;
+    std::uint64_t hop = 0;
+  };
+  void StashTrace(const std::string& sm_id, TraceContext ctx) {
+    traces_[sm_id] = ctx;
+  }
+  /// Removes and returns the stashed context ({0,0} when none).
+  TraceContext TakeTrace(const std::string& sm_id) {
+    const auto it = traces_.find(sm_id);
+    if (it == traces_.end()) return {};
+    const TraceContext ctx = it->second;
+    traces_.erase(it);
+    return ctx;
+  }
+  [[nodiscard]] std::size_t pending_traces() const noexcept {
+    return traces_.size();
+  }
+
  private:
   friend class SmRuntime;
   void Attach(net::NodeId id, SmRuntime* rt) { runtimes_[id] = rt; }
   void Detach(net::NodeId id) { runtimes_.erase(id); }
   std::unordered_map<net::NodeId, SmRuntime*> runtimes_;
+  std::unordered_map<std::string, TraceContext> traces_;
 };
 
 /// Execution context handed to a code-brick handler at the node where the
@@ -62,6 +88,17 @@ struct SmRuntimeConfig {
   std::size_t code_cache_capacity = 32;
   /// Tag exposed by nodes willing to route Contory SMs.
   std::string participation_tag = "contory";
+  /// Next-hop route cache for content-based routing, applied only to
+  /// exclude-free lookups (the homeward path of a finder: the same
+  /// "contory.node.N" tag is resolved at every intermediate node of
+  /// every reply). 0 = disabled — the default, so routing behavior is
+  /// bit-identical to the uncached BFS unless a scenario opts in. A hit
+  /// requires the entry to be younger than the TTL *and* the cached hop
+  /// to still be a participating WiFi neighbor (mobility safety net).
+  SimDuration route_cache_ttl{};
+  /// Cached tags per node; on overflow the cache is flushed (counted in
+  /// sm_route_cache_evictions_total).
+  std::size_t route_cache_capacity = 16;
 };
 
 class SmRuntime {
@@ -156,6 +193,14 @@ class SmRuntime {
   void ScheduleExecution(SmartMessage sm, bool count_in_breakup);
   void TouchCodeCache(const std::string& brick);
 
+  /// Opens the "hop:<n>" trace span for a traced SM about to migrate to
+  /// `next`; probes the *sending* phone's energy ledger. COBS-gated at
+  /// the call site.
+  void BeginHopSpan(SmartMessage& sm, net::NodeId next);
+  /// Closes the in-flight hop span of a lost migration (frame loss,
+  /// radio-off, peer gone) and drops its stashed trace context.
+  void CloseHopOnLoss(const std::string& sm_id, const Status& cause);
+
   /// BFS over the participation overlay from this node. Returns parent
   /// pointers; see .cpp for use.
   struct BfsResult {
@@ -188,6 +233,13 @@ class SmRuntime {
   std::unordered_map<std::string, std::list<std::string>::iterator>
       code_cache_index_;
   std::unordered_map<std::string, ReplyHandler> reply_handlers_;
+  /// Next-hop cache for exclude-free NextHopTowardTag (mutable: caching
+  /// inside a logically-const lookup). Empty unless route_cache_ttl > 0.
+  struct RouteEntry {
+    net::NodeId next = net::kInvalidNode;
+    SimTime at{};
+  };
+  mutable std::unordered_map<std::string, RouteEntry> route_cache_;
   std::size_t resident_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;

@@ -62,6 +62,17 @@ struct SmartMessage {
   /// Latency decomposition accumulated across all migrations so far.
   HopBreakup breakup;
 
+  // --- Trace context (observability; never serialized) -------------------
+  // Carried out-of-band so instrumentation cannot perturb wire sizes and
+  // therefore transfer times/energy. Across the air gap the SmBus keeps a
+  // side table keyed by message id (see SmBus::StashTrace/TakeTrace).
+  /// Open tracer span (query root or provision stage) this SM's hop
+  /// chain nests under; 0 = untraced.
+  std::uint64_t trace_parent = 0;
+  /// Hop span currently in flight (opened at Migrate, closed at the
+  /// receiver or on loss); 0 = none.
+  std::uint64_t trace_hop = 0;
+
   /// Bytes this SM occupies on the wire. Code travels only when the
   /// receiver has not cached the brick.
   [[nodiscard]] std::size_t WireBytes(std::size_t code_bytes,

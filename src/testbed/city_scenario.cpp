@@ -12,6 +12,7 @@
 #include "core/query/parser.hpp"
 #include "core/references/wifi_reference.hpp"
 #include "obs/clock.hpp"
+#include "obs/observability.hpp"
 
 namespace contory::testbed {
 namespace {
@@ -50,8 +51,10 @@ CityScenario::CityScenario(CityOptions options)
     wifis_.push_back(std::make_unique<net::WifiController>(
         sim_, wifi_bus_, *phones_.back(), node, wifi_config));
     wifis_.back()->SetEnabled(true);
+    sm::SmRuntimeConfig rt_config;
+    rt_config.route_cache_ttl = options_.route_cache_ttl;
     runtimes_.push_back(std::make_unique<sm::SmRuntime>(
-        sim_, sm_bus_, *wifis_.back()));
+        sim_, sm_bus_, *wifis_.back(), std::move(rt_config)));
     sm::SmRuntime& rt = *runtimes_.back();
     rt.SetParticipating(true);
     core::RegisterFinderBrick(rt);
@@ -166,9 +169,19 @@ void CityScenario::LaunchFinder(std::size_t issuer, int num_nodes,
     sim::TimerId timer = sim::kInvalidTimer;
     SimTime launched;
     bool settled = false;
+    /// Synthetic tracer root for this finder round (0 = obs off): the
+    /// hop chain nests under it, so a city trace shows the full route.
+    std::uint64_t root_span = 0;
   };
   auto pending = std::make_shared<Pending>();
   pending->launched = sim_.Now();
+  COBS({
+    phone::SmartPhone& issuer_phone = phone(issuer);
+    pending->root_span = obs::Observability::tracer().BeginQuery(
+        query->id, sim_.Now(),
+        [&issuer_phone] { return issuer_phone.energy().TotalEnergyJoules(); });
+    sm.trace_parent = pending->root_span;
+  });
 
   const std::string finder_id = sm.id;
   rt.RegisterReplyHandler(
@@ -190,6 +203,16 @@ void CityScenario::LaunchFinder(std::size_t issuer, int num_nodes,
           }
         }
         outcome.success = outcome.items > 0;
+        COBS({
+          static obs::Histogram& hops =
+              obs::Observability::metrics().GetHistogram(
+                  "sm_finder_hops", {}, obs::DefaultHopBounds());
+          hops.Observe(static_cast<double>(reply.hop_count));
+          auto& tracer = obs::Observability::tracer();
+          tracer.AddItems(pending->root_span, outcome.items);
+          tracer.EndQuery(pending->root_span, sim_.Now(),
+                          outcome.success ? "ok" : "replied-empty");
+        });
         if (done) done(outcome);
       });
 
@@ -201,6 +224,8 @@ void CityScenario::LaunchFinder(std::size_t issuer, int num_nodes,
         runtime(issuer).UnregisterReplyHandler(finder_id);
         FinderOutcome outcome;
         outcome.latency = sim_.Now() - pending->launched;
+        COBS(obs::Observability::tracer().EndQuery(pending->root_span,
+                                                   sim_.Now(), "timeout"));
         if (done) done(outcome);
       },
       "city.finder_timeout");
@@ -210,6 +235,8 @@ void CityScenario::LaunchFinder(std::size_t issuer, int num_nodes,
     pending->settled = true;
     sim_.Cancel(pending->timer);
     rt.UnregisterReplyHandler(finder_id);
+    COBS(obs::Observability::tracer().EndQuery(pending->root_span, sim_.Now(),
+                                               "rejected:admission"));
     FinderOutcome outcome;
     if (done) done(outcome);
   }

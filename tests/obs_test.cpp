@@ -11,7 +11,10 @@
 // zero-footprint contract instead of skipping.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdlib>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -117,6 +120,133 @@ TEST(ObsMetricsTest, ExportersRenderAllKinds) {
   EXPECT_NE(prom.find("lat_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(prom.find("lat_ms_count 1"), std::string::npos);
   EXPECT_NE(prom.find("lat_ms_sum 4"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, SeriesCapRedirectsToOverflowSeries) {
+  obs::MetricsRegistry registry;
+  registry.SetSeriesCap(2);
+  obs::Counter& c1 = registry.GetCounter("m_total", {{"c", "1"}});
+  obs::Counter& c2 = registry.GetCounter("m_total", {{"c", "2"}});
+  EXPECT_NE(&c1, &c2);
+
+  // The third distinct label set lands in the "other" overflow series.
+  obs::Counter& c3 = registry.GetCounter("m_total", {{"c", "3"}});
+  EXPECT_EQ(&c3, &registry.GetCounter("m_total", {{"c", "other"}}));
+  c3.Inc(7);
+  // Every redirected lookup is counted — the counter measures how often
+  // callers hit the cap, not just how many series were refused.
+  const obs::Counter* capped =
+      registry.FindCounter("metrics_series_capped_total");
+  ASSERT_NE(capped, nullptr);
+  EXPECT_GE(capped->value(), 1u);
+  const std::uint64_t before = capped->value();
+  registry.GetCounter("m_total", {{"c", "4"}}).Inc();
+  EXPECT_GT(capped->value(), before);
+  EXPECT_EQ(registry.FindCounter("m_total", {{"c", "other"}})->value(), 8u);
+
+  // Existing series keep resolving directly, the cap only stops new ones.
+  EXPECT_EQ(&registry.GetCounter("m_total", {{"c", "1"}}), &c1);
+  // Unlabeled series and other metric names are never capped.
+  registry.GetCounter("unlabeled_total").Inc();
+  obs::Gauge& g3 = registry.GetGauge("g", {{"c", "3"}});
+  EXPECT_NE(&g3, &registry.GetGauge("g", {{"c", "1"}}));
+
+  // SetSeriesCap(0) disables the guard for fresh names.
+  registry.SetSeriesCap(0);
+  obs::Counter& u3 = registry.GetCounter("uncapped_total", {{"c", "3"}});
+  EXPECT_NE(&u3, &registry.GetCounter("uncapped_total", {{"c", "other"}}));
+}
+
+TEST(ObsMetricsTest, PrometheusExpositionLints) {
+  obs::MetricsRegistry registry;
+  registry.SetSeriesCap(2);
+  registry.GetCounter("lint_total", {{"z", "9"}, {"a", "1"}}).Inc(3);
+  registry.GetCounter("lint_total", {{"a", "2"}, {"z", "8"}}).Inc();
+  registry.GetCounter("lint_total", {{"a", "3"}, {"z", "7"}}).Inc();  // other
+  registry.GetGauge("lint_live").Set(2.0);
+  registry.GetHistogram("lint_ms", {}, {1.0, 10.0}).Observe(0.5);
+
+  const auto is_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char ch : s) {
+      if (std::isalnum(static_cast<unsigned char>(ch)) == 0 && ch != '_' &&
+          ch != ':') {
+        return false;
+      }
+    }
+    return std::isdigit(static_cast<unsigned char>(s[0])) == 0;
+  };
+  // Histogram series render under derived names; TYPE covers the base.
+  const auto base_of = [](std::string name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s{suffix};
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        return name.substr(0, name.size() - s.size());
+      }
+    }
+    return name;
+  };
+
+  std::set<std::string> typed;
+  std::istringstream lines(registry.ToPrometheusText());
+  std::string line;
+  std::size_t series_seen = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      EXPECT_TRUE(is_name(rest.substr(0, space))) << line;
+      const std::string kind = rest.substr(space + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" ||
+                  kind == "histogram")
+          << line;
+      typed.insert(rest.substr(0, space));
+      continue;
+    }
+    ++series_seen;
+    // `name{labels} value` — name valid, labels sorted, value numeric.
+    std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(0, name_end);
+    EXPECT_TRUE(is_name(name)) << line;
+    EXPECT_TRUE(typed.count(base_of(name)) == 1 || typed.count(name) == 1)
+        << "series before its # TYPE: " << line;
+    std::size_t value_at = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      ASSERT_NE(close, std::string::npos) << line;
+      std::string previous_key;
+      std::size_t at = name_end + 1;
+      while (at < close) {
+        const std::size_t eq = line.find('=', at);
+        ASSERT_NE(eq, std::string::npos) << line;
+        const std::string key = line.substr(at, eq - at);
+        EXPECT_TRUE(is_name(key)) << line;
+        EXPECT_LT(previous_key, key) << "labels not sorted: " << line;
+        previous_key = key;
+        ASSERT_EQ(line[eq + 1], '"') << line;
+        const std::size_t end_quote = line.find('"', eq + 2);
+        ASSERT_NE(end_quote, std::string::npos) << line;
+        at = end_quote + 1;
+        if (line[at] == ',') ++at;
+      }
+      value_at = close + 1;
+    }
+    ASSERT_EQ(line[value_at], ' ') << line;
+    const std::string value = line.substr(value_at + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      EXPECT_EQ(*end, '\0') << "unparsable value in: " << line;
+    }
+  }
+  // counter + gauge + histogram bases all declared, series all present.
+  EXPECT_GE(typed.size(), 4u);  // lint_total, lint_live, lint_ms, capped
+  EXPECT_GE(series_seen, 9u);   // 3 counters + capped + gauge + hist(4+)
 }
 
 // --- QueryTracer ------------------------------------------------------------
@@ -721,6 +851,42 @@ TEST_F(ObsTest, ChaosFaultWindowsLandInMetrics) {
   }
   EXPECT_EQ(roots, 1u);
   EXPECT_TRUE(degraded_window);
+}
+
+TEST_F(ObsTest, ResetForTestLeavesNoRetainedSpansOrFrames) {
+  // Tracer calls below go straight at the singleton (no COBS gate), so
+  // this holds in the disabled run too: reset must drain every piece of
+  // retained observability state — the open window, the old-generation
+  // map, the finished deque, and the recorder ring.
+  auto& tr = tracer();
+  const std::uint64_t root = tr.BeginQuery("q-reset", kSimEpoch);
+  // Enough sequential churn to advance the dense window far past the
+  // root's chunk, forcing it into the old generation.
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t stage =
+        tr.BeginStage(root, "provision", "intSensor", kSimEpoch);
+    ASSERT_NE(tr.EndStage(stage, kSimEpoch, "ok"), nullptr);
+  }
+  EXPECT_EQ(tr.old_generation_size(), 1u);
+  EXPECT_EQ(tr.open_count(), 1u);
+
+  obs::RecorderConfig config;
+  config.capacity = 4;
+  obs::Observability::recorder().Configure(std::move(config));
+  metrics().GetCounter("reset_probe_total").Inc();
+  obs::Observability::recorder().Sample(kSimEpoch + 1s);
+  ASSERT_FALSE(obs::Observability::recorder().frames().empty());
+
+  obs::Observability::ResetForTest();
+  EXPECT_EQ(tr.open_count(), 0u);
+  EXPECT_EQ(tr.old_generation_size(), 0u);
+  EXPECT_TRUE(tr.finished().empty());
+  EXPECT_EQ(tr.spans_started(), 0u);
+  EXPECT_EQ(tr.spans_dropped(), 0u);
+  EXPECT_TRUE(obs::Observability::recorder().frames().empty());
+  EXPECT_EQ(obs::Observability::recorder().samples_total(), 0u);
+  // Closing the stale pre-reset handle is a no-op, not a double close.
+  EXPECT_EQ(tr.EndQuery(root, kSimEpoch + 2s, "late"), nullptr);
 }
 
 }  // namespace

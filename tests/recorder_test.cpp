@@ -1,0 +1,170 @@
+// FlightRecorder tests: delta encoding per metric kind, prefix
+// filtering, the bounded ring's wraparound + drop accounting, the
+// null-padded columnar ToJson export, and the ResetForTest contract
+// (the recorder ring is part of the state a test boundary must clear).
+//
+// The recorder samples the *global* registry (obs::Observability), so
+// every test resets it in SetUp and names its metrics with a
+// test-unique prefix — entries persist across tests within the binary
+// (handles are stable by design), and the prefix filter keeps each
+// test's column universe to its own series.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/observability.hpp"
+
+namespace contory {
+namespace {
+
+using namespace std::chrono_literals;
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::Observability::ResetForTest(); }
+  void TearDown() override { obs::Observability::ResetForTest(); }
+
+  static obs::MetricsRegistry& metrics() {
+    return obs::Observability::metrics();
+  }
+  static obs::FlightRecorder& recorder() {
+    return obs::Observability::recorder();
+  }
+
+  static void Configure(std::size_t capacity,
+                        std::vector<std::string> prefixes) {
+    obs::RecorderConfig config;
+    config.capacity = capacity;
+    config.prefixes = std::move(prefixes);
+    recorder().Configure(std::move(config));
+  }
+
+  /// Value of column `key` in the most recent frame; fails the test when
+  /// the column does not exist.
+  static double Last(const std::string& key) {
+    const auto& columns = recorder().columns();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].key != key) continue;
+      const auto& values = recorder().frames().back().values;
+      EXPECT_LT(i, values.size()) << key << " missing from last frame";
+      return i < values.size() ? values[i] : 0.0;
+    }
+    ADD_FAILURE() << "no column " << key;
+    return 0.0;
+  }
+};
+
+TEST_F(RecorderTest, CountersDeltaGaugesRawHistogramsDerive) {
+  Configure(16, {"rta_"});
+  obs::Counter& c = metrics().GetCounter("rta_ops_total");
+  obs::Gauge& g = metrics().GetGauge("rta_live");
+  obs::Histogram& h = metrics().GetHistogram("rta_lat_ms", {}, {1.0, 10.0});
+
+  c.Inc(5);
+  g.Set(2.5);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  recorder().Sample(kSimEpoch + 1s);
+
+  // First counter delta is the raw value (last_raw starts at zero).
+  EXPECT_DOUBLE_EQ(Last("rta_ops_total"), 5.0);
+  EXPECT_DOUBLE_EQ(Last("rta_live"), 2.5);
+  EXPECT_DOUBLE_EQ(Last("rta_lat_ms/count"), 2.0);
+  EXPECT_GT(Last("rta_lat_ms/p99"), 0.0);
+
+  c.Inc(3);
+  g.Set(1.0);
+  recorder().Sample(kSimEpoch + 2s);
+  EXPECT_DOUBLE_EQ(Last("rta_ops_total"), 3.0);  // delta, not cumulative
+  EXPECT_DOUBLE_EQ(Last("rta_live"), 1.0);       // raw
+  EXPECT_DOUBLE_EQ(Last("rta_lat_ms/count"), 0.0);
+
+  EXPECT_EQ(recorder().samples_total(), 2u);
+  EXPECT_EQ(recorder().frames_dropped(), 0u);
+  EXPECT_EQ(recorder().frames().size(), 2u);
+}
+
+TEST_F(RecorderTest, PrefixFilterSkipsForeignSeries) {
+  Configure(16, {"rtb_keep_"});
+  metrics().GetCounter("rtb_keep_total").Inc();
+  metrics().GetCounter("rtb_skip_total").Inc();
+  recorder().Sample(kSimEpoch + 1s);
+
+  bool saw_keep = false;
+  for (const auto& column : recorder().columns()) {
+    EXPECT_EQ(column.key.rfind("rtb_keep_", 0), 0u) << column.key;
+    if (column.key == "rtb_keep_total") saw_keep = true;
+  }
+  EXPECT_TRUE(saw_keep);
+}
+
+TEST_F(RecorderTest, RingWrapsAndCountsDrops) {
+  Configure(4, {"rtc_"});
+  obs::Counter& c = metrics().GetCounter("rtc_ticks_total");
+  for (int i = 1; i <= 10; ++i) {
+    c.Inc();
+    recorder().Sample(kSimEpoch + std::chrono::seconds{i});
+  }
+  EXPECT_EQ(recorder().frames().size(), 4u);
+  EXPECT_EQ(recorder().samples_total(), 10u);
+  EXPECT_EQ(recorder().frames_dropped(), 6u);
+  // Oldest surviving frame is sample #7; deltas survive the drop intact.
+  EXPECT_EQ(recorder().frames().front().t, kSimEpoch + 7s);
+  EXPECT_DOUBLE_EQ(Last("rtc_ticks_total"), 1.0);
+
+  // Drop accounting is also exported through the self-metrics.
+  const obs::Gauge* dropped = metrics().FindGauge("recorder_frames_dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value(), 6.0);
+  const obs::Counter* samples =
+      metrics().FindCounter("recorder_samples_total");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->value(), 10u);
+}
+
+TEST_F(RecorderTest, LateColumnsNullPaddedInJson) {
+  Configure(8, {"rtd_"});
+  metrics().GetCounter("rtd_early_total").Inc();
+  recorder().Sample(kSimEpoch + 1s);
+  metrics().GetCounter("rtd_late_total").Inc();
+  recorder().Sample(kSimEpoch + 2s);
+
+  const std::string json = recorder().ToJson();
+  EXPECT_NE(json.find("\"rtd_early_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"rtd_late_total\""), std::string::npos);
+  // The first frame predates the late column: padded with null so every
+  // row has uniform width.
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_NE(json.find("\"sampled\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+}
+
+TEST_F(RecorderTest, ConfigureClampsCapacityAndClearsRing) {
+  Configure(8, {"rte_"});
+  metrics().GetCounter("rte_total").Inc();
+  recorder().Sample(kSimEpoch + 1s);
+  ASSERT_EQ(recorder().frames().size(), 1u);
+
+  // Reconfiguring invalidates the old column universe: ring cleared.
+  Configure(0, {"rte_"});
+  EXPECT_EQ(recorder().config().capacity, 1u);  // 0 clamps to 1
+  EXPECT_TRUE(recorder().frames().empty());
+  EXPECT_TRUE(recorder().columns().empty());
+  EXPECT_EQ(recorder().samples_total(), 0u);
+}
+
+TEST_F(RecorderTest, ResetForTestClearsRing) {
+  Configure(8, {"rtf_"});
+  metrics().GetCounter("rtf_total").Inc();
+  recorder().Sample(kSimEpoch + 1s);
+  ASSERT_EQ(recorder().frames().size(), 1u);
+
+  obs::Observability::ResetForTest();
+  EXPECT_TRUE(recorder().frames().empty());
+  EXPECT_TRUE(recorder().columns().empty());
+  EXPECT_EQ(recorder().samples_total(), 0u);
+  EXPECT_EQ(recorder().frames_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace contory
