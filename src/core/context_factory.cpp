@@ -400,7 +400,20 @@ Status ContextFactory::AssignToFacade(QueryRecord& record,
     }
   });
   const QueryId qid = record.qid;
-  const Status s = facades_.at(kind)->Submit(record.query);
+  // Providers arm their DURATION timer from "now", but the clause is
+  // anchored at submission — a failover re-assignment must hand the
+  // facade only the remaining window or the clock restarts.
+  query::CxtQuery to_submit = record.query;
+  if (to_submit.duration.time.has_value()) {
+    const SimDuration elapsed = services_.sim->Now() - record.submitted;
+    if (elapsed > SimDuration::zero()) {
+      *to_submit.duration.time =
+          *to_submit.duration.time <= elapsed
+              ? SimDuration::zero()
+              : *to_submit.duration.time - elapsed;
+    }
+  }
+  const Status s = facades_.at(kind)->Submit(to_submit);
   // Submit can deliver synchronously, and the client may cancel (or
   // otherwise finish) the query from inside that delivery — which
   // erases the record. Re-resolve before touching it again.

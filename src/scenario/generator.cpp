@@ -1,0 +1,187 @@
+#include "scenario/generator.hpp"
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+
+namespace contory::scenario {
+namespace {
+
+constexpr std::array<const char*, 3> kStrategies = {"internal", "extinfra",
+                                                    "adhoc"};
+constexpr std::array<const char*, 3> kFaults = {"none", "flap", "outage"};
+constexpr std::array<const char*, 3> kPriorities = {"interactive", "standard",
+                                                    "background"};
+constexpr std::array<int, 2> kNodeCounts = {2, 6};
+
+/// Stable 64-bit FNV-1a: per-case seeds must not depend on stdlib
+/// hashing details, only on the case name.
+std::uint64_t StableHash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct CaseParams {
+  std::string strategy;
+  std::string fault;
+  std::string priority;
+  int nodes = 0;
+};
+
+bool ParseName(const std::string& name, CaseParams& p) {
+  std::istringstream in(name);
+  std::string gen, strategy, fault, priority, nodes;
+  if (!std::getline(in, gen, '_') || gen != "gen") return false;
+  if (!std::getline(in, strategy, '_')) return false;
+  if (!std::getline(in, fault, '_')) return false;
+  if (!std::getline(in, priority, '_')) return false;
+  if (!std::getline(in, nodes)) return false;
+  bool known = false;
+  for (const char* s : kStrategies) known |= strategy == s;
+  if (!known) return false;
+  known = false;
+  for (const char* f : kFaults) known |= fault == f;
+  if (!known) return false;
+  known = false;
+  for (const char* pr : kPriorities) known |= priority == pr;
+  if (!known) return false;
+  for (const int n : kNodeCounts) {
+    if (nodes == "n" + std::to_string(n)) {
+      p = {strategy, fault, priority, n};
+      return true;
+    }
+  }
+  return false;
+}
+
+void CommonTail(std::ostringstream& out, const std::string& fault) {
+  out << "expect q.q0.submitted == 1\n"
+      << "expect q.q0.completions == 1\n"
+      << "expect q.q0.active == 0\n"
+      << "expect d.phone-0.invalid_transitions == 0\n";
+  if (fault != "none") out << "expect injector.injected >= 1\n";
+}
+
+std::string InternalSpec(const CaseParams& p, int n) {
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    // probe=10s: a faulted query sits in degraded mode until the recovery
+    // probe reattaches the sensor, and only then can its duration expire —
+    // the default 30 s probe doesn't fit the 90 s run budget.
+    out << "device phone-" << i
+        << " bt=off cell=off sensors=temperature probe=10s\n";
+  }
+  out << "query q0 on phone-0 : SELECT temperature FROM intSensor "
+         "DURATION 60 sec EVERY 5 sec PRIORITY "
+      << p.priority << "\n";
+  if (p.fault == "flap") {
+    out << "fault at=20s sensor.fail temperature@phone-0 for=15s\n";
+  } else if (p.fault == "outage") {
+    out << "fault at=10s sensor.fail temperature@phone-0 for=40s\n";
+  }
+  out << "run 90s\n";
+  out << "expect q.q0.items >= 1\n";
+  if (p.fault == "none") out << "expect q.q0.items >= 10\n";
+  CommonTail(out, p.fault);
+  return out.str();
+}
+
+std::string ExtInfraSpec(const CaseParams& p, int n) {
+  std::ostringstream out;
+  out << "server infra.dynamos.fi\n"
+      << "feed infra.dynamos.fi type=temperature every=5s value=14\n";
+  for (int i = 0; i < n; ++i) {
+    out << "device phone-" << i
+        << " bt=off cell=on infra=infra.dynamos.fi retries=6"
+           " retry_timeout=6s retry_backoff=500ms retry_backoff_max=4s"
+           " retry_deadline=120s\n";
+  }
+  out << "query q0 on phone-0 : SELECT temperature FROM extInfra "
+         "DURATION 60 sec EVERY 10 sec PRIORITY "
+      << p.priority << "\n";
+  if (p.fault == "flap") {
+    out << "fault at=15s cell.abort phone-0 rate=0.8 for=20s\n";
+  } else if (p.fault == "outage") {
+    out << "fault at=12s broker.outage infra.dynamos.fi for=30s\n";
+  }
+  out << "run 100s\n";
+  if (p.fault == "none") out << "expect q.q0.items >= 2\n";
+  CommonTail(out, p.fault);
+  return out.str();
+}
+
+std::string AdHocSpec(const CaseParams& p, int n) {
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    out << "device phone-" << i << " profile=9500 bt=off cell=off wifi=on"
+        << " pos=" << (80 * i) << ",0\n";
+  }
+  // The far end of the WiFi line publishes one retained item the
+  // SM-FINDER rounds must fetch across n-1 hops.
+  out << "publish phone-" << (n - 1)
+      << " type=temperature once value=19.5 accuracy=0.2\n";
+  out << "query q0 on phone-0 : SELECT temperature FROM adHocNetwork(1,"
+      << (n - 1)
+      << ") DURATION 60 sec EVERY 30 sec PRIORITY " << p.priority << "\n";
+  if (p.fault == "flap") {
+    out << "fault at=20s wifi.loss phone-1 rate=0.5 for=20s\n";
+  } else if (p.fault == "outage") {
+    out << "fault at=10s wifi.fail phone-1 for=45s\n";
+  }
+  out << "run 2min\n";
+  if (p.fault == "none") out << "expect q.q0.items >= 1\n";
+  CommonTail(out, p.fault);
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<std::string> GeneratedCaseNames() {
+  std::vector<std::string> names;
+  names.reserve(kStrategies.size() * kFaults.size() * kPriorities.size() *
+                kNodeCounts.size());
+  for (const char* strategy : kStrategies) {
+    for (const char* fault : kFaults) {
+      for (const char* priority : kPriorities) {
+        for (const int nodes : kNodeCounts) {
+          names.push_back(std::string("gen_") + strategy + "_" + fault +
+                          "_" + priority + "_n" + std::to_string(nodes));
+        }
+      }
+    }
+  }
+  return names;
+}
+
+bool IsGeneratedCase(const std::string& name) {
+  CaseParams p;
+  return ParseName(name, p);
+}
+
+Result<std::string> GeneratedSpecText(const std::string& name,
+                                      const GeneratorOptions& options) {
+  CaseParams p;
+  if (!ParseName(name, p)) {
+    return InvalidArgument("unknown generated case '" + name + "'");
+  }
+  const int scale = options.node_scale < 1 ? 1 : options.node_scale;
+  const int n = p.nodes * scale;
+  std::ostringstream out;
+  out << "scenario generated " << p.strategy << " " << p.fault << " "
+      << p.priority << " n" << p.nodes << " x" << scale << "\n";
+  out << "seed " << (StableHash(name) % 99991 + 1) << "\n";
+  if (p.strategy == "internal") {
+    out << InternalSpec(p, n);
+  } else if (p.strategy == "extinfra") {
+    out << ExtInfraSpec(p, n);
+  } else {
+    out << AdHocSpec(p, n);
+  }
+  return out.str();
+}
+
+}  // namespace contory::scenario

@@ -1,0 +1,44 @@
+// Combinatorial scenario generation: fault × strategy × priority × scale.
+//
+// Every generated case is an ordinary scenario spec (spec.hpp) produced
+// from its name, so `scenario_runner --run=gen_adhoc_flap_standard_n6`
+// reproduces exactly what the ctest case executed. The matrix:
+//
+//   strategy  internal | extinfra | adhoc     (FROM clause / substrate)
+//   fault     none | flap | outage            (healthy, transient
+//                                              mid-run fault, long
+//                                              substrate outage)
+//   priority  interactive | standard | background
+//   nodes     2 | 6                           (world size; adhoc route
+//                                              length grows with it)
+//
+// = 54 cases, each named gen_<strategy>_<fault>_<priority>_n<nodes> and
+// registered individually under the ctest label `scenario`. Node counts
+// in the name are logical: GeneratorOptions.node_scale (CONTORY_STRESS
+// wiring) multiplies the actual device count without renaming cases, so
+// stress runs exercise bigger worlds under the same test identities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace contory::scenario {
+
+struct GeneratorOptions {
+  /// Multiplies each case's logical node count (>= 1).
+  int node_scale = 1;
+};
+
+/// Every generated case name, in deterministic order.
+[[nodiscard]] std::vector<std::string> GeneratedCaseNames();
+
+/// True when `name` belongs to the generated matrix.
+[[nodiscard]] bool IsGeneratedCase(const std::string& name);
+
+/// Renders the spec text for one generated case name.
+[[nodiscard]] Result<std::string> GeneratedSpecText(
+    const std::string& name, const GeneratorOptions& options = {});
+
+}  // namespace contory::scenario

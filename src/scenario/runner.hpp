@@ -1,0 +1,49 @@
+// ScenarioRunner: executes a parsed ScenarioSpec against the testbed.
+//
+// The runner builds a testbed::World from the spec's declarations, drives
+// the sim clock through the `run` steps, applies faults through the
+// World's FaultInjector, submits queries through each device's
+// ContextFactory, and checks every `expect` invariant against the
+// QueryTable, facades, switch log, tracer and metrics registry — the same
+// seams the bespoke C++ tests read. After the last step it always audits
+// the lifecycle invariants no scenario may violate: zero invalid state
+// transitions on every device, zero tracer double-closes, and zero open
+// root spans once all query tables are empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace contory::scenario {
+
+struct RunReport {
+  bool passed = true;
+  /// One line per failed invariant: "line N: expect <sel> <op> <rhs> —
+  /// actual <value>". Setup failures (fault rejected by the injector,
+  /// publisher registration refused) land here too.
+  std::vector<std::string> failures;
+  /// Step-by-step narration (verbose mode) plus skip notes.
+  std::vector<std::string> log;
+  std::size_t expects_checked = 0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+struct RunnerOptions {
+  bool verbose = false;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Runs one spec in a fresh World (obs registry/tracer reset first).
+  [[nodiscard]] RunReport Run(const ScenarioSpec& spec);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace contory::scenario

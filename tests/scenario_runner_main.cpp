@@ -1,0 +1,196 @@
+// Standalone scenario runner (and the ctest driver for label `scenario`).
+//
+//   scenario_runner --dir=tests/scenarios/cases --list
+//   scenario_runner --dir=... --run=fault_to_degraded_recovery
+//   scenario_runner --run=gen_adhoc_flap_standard_n6
+//   scenario_runner --dir=... --all
+//   scenario_runner --dir=... --check-manifest=<file>
+//
+// Cases come from two sources: .scn files in --dir (named by basename)
+// and the generated combinatorial matrix (generator.hpp). The manifest
+// check compares the full discoverable case list against the names CMake
+// registered at configure time, so a case file dropped on disk without
+// re-running CMake — or a registered case whose file went missing —
+// fails the build instead of silently not running.
+//
+// CONTORY_SCENARIO_STRESS=<n> (set by the CONTORY_STRESS=ON ctest
+// wiring) multiplies the generated cases' node counts.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace contory;
+
+std::vector<std::string> FileCases(const std::string& dir) {
+  std::vector<std::string> names;
+  if (dir.empty() || !fs::is_directory(dir)) return names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scn") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+scenario::GeneratorOptions StressOptions() {
+  scenario::GeneratorOptions options;
+  if (const char* stress = std::getenv("CONTORY_SCENARIO_STRESS")) {
+    const int scale = std::atoi(stress);
+    if (scale > 1) options.node_scale = scale;
+  }
+  return options;
+}
+
+int RunOne(const std::string& dir, const std::string& name, bool verbose) {
+  std::string text;
+  if (scenario::IsGeneratedCase(name)) {
+    auto generated = scenario::GeneratedSpecText(name, StressOptions());
+    if (!generated.ok()) {
+      std::cerr << name << ": " << generated.status().message() << "\n";
+      return 2;
+    }
+    text = *generated;
+  } else {
+    const fs::path path = fs::path(dir) / (name + ".scn");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << name << ": cannot open " << path.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  auto spec = scenario::ParseScenario(text);
+  if (!spec.ok()) {
+    std::cerr << name << ": parse error: " << spec.status().message()
+              << "\n";
+    return 2;
+  }
+  scenario::ScenarioRunner runner({.verbose = verbose});
+  const scenario::RunReport report = runner.Run(*spec);
+  for (const std::string& line : report.log) {
+    std::cout << "  " << line << "\n";
+  }
+  for (const std::string& failure : report.failures) {
+    std::cerr << "  FAIL " << failure << "\n";
+  }
+  std::cout << name << ": " << report.Summary() << "\n";
+  return report.passed ? 0 : 1;
+}
+
+int CheckManifest(const std::string& dir, const std::string& manifest_path) {
+  std::ifstream in(manifest_path);
+  if (!in) {
+    std::cerr << "cannot open manifest " << manifest_path << "\n";
+    return 2;
+  }
+  std::set<std::string> registered;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) registered.insert(line);
+  }
+  std::set<std::string> discovered;
+  for (const std::string& name : FileCases(dir)) discovered.insert(name);
+  for (const std::string& name : scenario::GeneratedCaseNames()) {
+    discovered.insert(name);
+  }
+  int failures = 0;
+  for (const std::string& name : discovered) {
+    if (!registered.contains(name)) {
+      std::cerr << "case '" << name
+                << "' exists but is not registered with ctest — re-run "
+                   "cmake\n";
+      ++failures;
+    }
+  }
+  for (const std::string& name : registered) {
+    if (!discovered.contains(name)) {
+      std::cerr << "ctest registers case '" << name
+                << "' but no such case exists (deleted .scn?)\n";
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::cout << "manifest ok: " << registered.size() << " cases\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "tests/scenarios/cases";
+  std::string run_case;
+  std::string manifest;
+  bool list = false;
+  bool all = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const std::string& flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--dir=", 0) == 0) {
+      dir = value("--dir=");
+    } else if (arg.rfind("--run=", 0) == 0) {
+      run_case = value("--run=");
+    } else if (arg.rfind("--check-manifest=", 0) == 0) {
+      manifest = value("--check-manifest=");
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: scenario_runner [--dir=<cases>] [--list] "
+                   "[--run=<case>] [--all] [--check-manifest=<file>] "
+                   "[--verbose]\n";
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const std::string& name : FileCases(dir)) {
+      std::cout << name << "\n";
+    }
+    for (const std::string& name : scenario::GeneratedCaseNames()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (!manifest.empty()) return CheckManifest(dir, manifest);
+  if (!run_case.empty()) return RunOne(dir, run_case, verbose);
+  if (all) {
+    int failed = 0;
+    for (const std::string& name : FileCases(dir)) {
+      if (RunOne(dir, name, verbose) != 0) ++failed;
+    }
+    for (const std::string& name : scenario::GeneratedCaseNames()) {
+      if (RunOne(dir, name, verbose) != 0) ++failed;
+    }
+    if (failed != 0) std::cerr << failed << " case(s) failed\n";
+    return failed == 0 ? 0 : 1;
+  }
+  std::cerr << "nothing to do (try --list, --run=<case>, or --all)\n";
+  return 2;
+}

@@ -1,0 +1,109 @@
+// Runner semantics: a well-formed spec drives a real testbed and checks
+// its invariants; a violated expectation surfaces as a line-numbered
+// failure rather than an exception or a silent pass.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace contory::scenario {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+RunReport RunText(const std::string& text) {
+  auto spec = ParseScenario(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  if (!spec.ok()) return {};
+  ScenarioRunner runner;
+  return runner.Run(*spec);
+}
+
+TEST(ScenarioRunnerTest, TinyInternalSensorScenarioPasses) {
+  const RunReport report = RunText(
+      "scenario tiny\n"
+      "seed 3\n"
+      "device phone-A bt=off cell=off sensors=temperature\n"
+      "query q1 on phone-A : SELECT temperature FROM intSensor DURATION 20 "
+      "sec EVERY 5 sec\n"
+      "run 40s\n"
+      "expect q.q1.items >= 2\n"
+      "expect q.q1.completions == 1\n"
+      "expect d.phone-A.active == 0\n"
+      "expect d.phone-A.invalid_transitions == 0\n");
+  EXPECT_TRUE(report.passed) << report.Summary();
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_GE(report.expects_checked, 4);
+}
+
+TEST(ScenarioRunnerTest, ViolatedExpectIsLineNumberedFailure) {
+  const RunReport report = RunText(
+      "scenario failing\n"
+      "seed 3\n"
+      "device phone-A bt=off cell=off sensors=temperature\n"
+      "query q1 on phone-A : SELECT temperature FROM intSensor DURATION 20 "
+      "sec EVERY 5 sec\n"
+      "run 40s\n"
+      "expect q.q1.items >= 1000\n");
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_TRUE(Contains(report.failures.front(), "line 6")) << report.failures.front();
+  EXPECT_TRUE(Contains(report.failures.front(), "q.q1.items")) << report.failures.front();
+}
+
+TEST(ScenarioRunnerTest, FaultStepReachesInjector) {
+  const RunReport report = RunText(
+      "scenario faulted\n"
+      "seed 9\n"
+      "device phone-A bt=off cell=off sensors=temperature\n"
+      "fault at=10s sensor.fail temperature@phone-A for=5s\n"
+      "query q1 on phone-A : SELECT temperature FROM intSensor DURATION 30 "
+      "sec EVERY 5 sec\n"
+      "run 60s\n"
+      // A bounded fault injects two actions: the fault and its revert.
+      "expect injector.injected == 2\n"
+      "expect q.q1.completions == 1\n");
+  EXPECT_TRUE(report.passed) << report.Summary();
+}
+
+TEST(ScenarioRunnerTest, TextExpectationsCompare) {
+  const RunReport report = RunText(
+      "scenario text-expect\n"
+      "seed 3\n"
+      "device phone-A bt=off cell=off sensors=temperature\n"
+      "query q1 on phone-A : SELECT temperature FROM intSensor DURATION 20 "
+      "sec EVERY 5 sec\n"
+      "run 10s\n"
+      // mechanism reads the live provisioning set, so check mid-flight.
+      "expect q.q1.mechanism contains intSensor\n"
+      "run 30s\n"
+      "expect q.q1.last_source == intSensor\n"
+      "expect q.q1.last_source != extInfra\n");
+  EXPECT_TRUE(report.passed) << report.Summary();
+}
+
+TEST(ScenarioRunnerTest, GeneratedInternalCaseRunsGreen) {
+  auto text = GeneratedSpecText("gen_internal_none_standard_n2", {});
+  ASSERT_TRUE(text.ok()) << text.status().message();
+  const RunReport report = RunText(*text);
+  EXPECT_TRUE(report.passed) << report.Summary();
+}
+
+TEST(ScenarioRunnerTest, ReportSummaryNamesCounts) {
+  const RunReport report = RunText(
+      "scenario summary\n"
+      "device phone-A bt=off cell=off sensors=temperature\n"
+      "run 1s\n"
+      "expect d.phone-A.active == 0\n");
+  EXPECT_TRUE(report.passed);
+  EXPECT_TRUE(Contains(report.Summary(), "PASS")) << report.Summary();
+}
+
+}  // namespace
+}  // namespace contory::scenario
